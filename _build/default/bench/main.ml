@@ -1,0 +1,233 @@
+(* Benchmark harness.
+
+   Two parts, both printed on every run:
+
+   1. The experiment tables E1-E17 — one per claim of the paper (the paper
+      has no numeric tables of its own; these are its theorems rendered as
+      measurable artifacts).  Trial counts are reduced here to keep the
+      harness quick; `rrfd-experiments all` runs the full versions.
+   2. Bechamel micro-benchmarks of the building blocks (one Test.make per
+      subsystem), reporting estimated time per operation. *)
+
+open Bechamel
+open Toolkit
+
+let seed = 0
+
+(* -------------------------------------------------------------------- *)
+(* Micro-benchmark subjects.                                             *)
+
+let bench_engine_kset_round n =
+  let rng = Dsim.Rng.create seed in
+  Staged.stage (fun () ->
+      let inputs = Tasks.Inputs.distinct n in
+      let detector = Rrfd.Detector_gen.k_set rng ~n ~k:2 in
+      ignore
+        (Rrfd.Engine.run ~n ~algorithm:(Rrfd.Kset.one_round ~inputs) ~detector ()))
+
+let bench_full_info_rounds n =
+  let rng = Dsim.Rng.create seed in
+  Staged.stage (fun () ->
+      let inputs = Tasks.Inputs.distinct n in
+      let detector = Rrfd.Detector_gen.async rng ~n ~f:((n - 1) / 2) in
+      ignore
+        (Rrfd.Engine.states_after ~n ~rounds:4
+           ~algorithm:(Rrfd.Full_info.algorithm ~inputs)
+           ~detector ()))
+
+let bench_immediate_snapshot n =
+  let rng = Dsim.Rng.create seed in
+  Staged.stage (fun () ->
+      ignore
+        (Shm.Immediate_snapshot.run_once ~n
+           ~schedule:(Shm.Exec.Random (Dsim.Rng.split rng))))
+
+let bench_adopt_commit_registers n =
+  let rng = Dsim.Rng.create seed in
+  Staged.stage (fun () ->
+      let inputs = Tasks.Inputs.binary rng n in
+      ignore
+        (Shm.Adopt_commit_shm.run ~inputs
+           ~schedule:(Shm.Exec.Random (Dsim.Rng.split rng))))
+
+let bench_sim_crash_round n =
+  let rng = Dsim.Rng.create seed in
+  Staged.stage (fun () ->
+      let inputs = Tasks.Inputs.distinct n in
+      let sync = Syncnet.Flood.min_flood ~inputs ~horizon:2 in
+      ignore
+        (Rrfd.Engine.states_after ~n ~rounds:6
+           ~algorithm:(Rrfd.Sim_crash.algorithm ~sync)
+           ~detector:(Rrfd.Detector_gen.iis rng ~n ~f:1)
+           ()))
+
+let bench_two_step n =
+  let rng = Dsim.Rng.create seed in
+  Staged.stage (fun () ->
+      let inputs = Tasks.Inputs.distinct n in
+      ignore
+        (Semisync.Two_step.run ~n ~inputs
+           ~schedule:(Semisync.Machine.Random (Dsim.Rng.split rng))
+           ()))
+
+let bench_ring_baseline n =
+  Staged.stage (fun () ->
+      let inputs = Tasks.Inputs.distinct n in
+      ignore
+        (Semisync.Ring_baseline.run ~n ~inputs
+           ~schedule:Semisync.Machine.Round_robin))
+
+let bench_round_layer n =
+  let counter = ref 0 in
+  Staged.stage (fun () ->
+      incr counter;
+      let inputs = Tasks.Inputs.distinct n in
+      ignore
+        (Msgnet.Round_layer.run ~seed:!counter ~n ~f:((n - 1) / 2) ~rounds:3
+           ~algorithm:(Rrfd.Full_info.algorithm ~inputs)
+           ()))
+
+let bench_abd_write_read n =
+  let counter = ref 0 in
+  Staged.stage (fun () ->
+      incr counter;
+      let sim = Dsim.Sim.create ~seed:!counter () in
+      let reg = Msgnet.Abd.create ~sim ~n ~f:((n - 1) / 2) ~writer:0 () in
+      Msgnet.Abd.write reg ~value:1 ~on_done:(fun () ->
+          Msgnet.Abd.read reg ~proc:(n - 1) ~on_done:(fun _ -> ()));
+      Dsim.Sim.run sim)
+
+let bench_ct_consensus n =
+  let counter = ref 0 in
+  Staged.stage (fun () ->
+      incr counter;
+      let inputs = Tasks.Inputs.distinct n in
+      ignore
+        (Msgnet.Ct_consensus.run ~seed:!counter ~n ~f:((n - 1) / 2) ~inputs ()))
+
+let bench_early_deciding n =
+  let rng = Dsim.Rng.create seed in
+  Staged.stage (fun () ->
+      let f = (n - 1) / 2 in
+      let inputs = Tasks.Inputs.distinct n in
+      let pattern = Syncnet.Faults.random_crash rng ~n ~f:1 ~max_round:2 in
+      ignore
+        (Syncnet.Sync_net.run ~n ~rounds:(f + 1) ~pattern
+           ~algorithm:(Syncnet.Early_deciding.algorithm ~inputs ~f)
+           ()))
+
+let bench_safe_agreement n =
+  let rng = Dsim.Rng.create seed in
+  Staged.stage (fun () ->
+      let inputs = Tasks.Inputs.distinct n in
+      ignore
+        (Shm.Safe_agreement.run ~inputs
+           ~schedule:(Shm.Exec.Random (Dsim.Rng.split rng))
+           ()))
+
+let bench_phased_consensus n =
+  let rng = Dsim.Rng.create seed in
+  Staged.stage (fun () ->
+      let inputs = Tasks.Inputs.distinct n in
+      let stabilize_at = 4 in
+      ignore
+        (Rrfd.Engine.run ~n
+           ~max_rounds:(Rrfd.Phased_consensus.rounds_needed ~stabilize_at)
+           ~algorithm:(Rrfd.Phased_consensus.algorithm ~inputs)
+           ~detector:
+             (Rrfd.Phased_consensus.detector (Dsim.Rng.split rng) ~n
+                ~f:(n - 1) ~stabilize_at)
+           ()))
+
+let bench_sync_flood n =
+  let rng = Dsim.Rng.create seed in
+  Staged.stage (fun () ->
+      let f = (n - 1) / 2 in
+      let inputs = Tasks.Inputs.distinct n in
+      let pattern = Syncnet.Faults.random_crash rng ~n ~f ~max_round:(f + 1) in
+      ignore
+        (Syncnet.Sync_net.run ~n ~rounds:(f + 1) ~pattern
+           ~algorithm:(Syncnet.Flood.consensus ~inputs ~f)
+           ()))
+
+let tests =
+  Test.make_grouped ~name:"rrfd" ~fmt:"%s/%s"
+    [
+      Test.make_indexed ~name:"kset-one-round" ~fmt:"%s n=%d" ~args:[ 4; 8; 16; 32 ]
+        bench_engine_kset_round;
+      Test.make_indexed ~name:"full-info-4-rounds" ~fmt:"%s n=%d" ~args:[ 4; 8 ]
+        bench_full_info_rounds;
+      Test.make_indexed ~name:"immediate-snapshot" ~fmt:"%s n=%d"
+        ~args:[ 4; 8; 16 ] bench_immediate_snapshot;
+      Test.make_indexed ~name:"adopt-commit-registers" ~fmt:"%s n=%d"
+        ~args:[ 4; 8; 16 ] bench_adopt_commit_registers;
+      Test.make_indexed ~name:"sim-crash-2-sync-rounds" ~fmt:"%s n=%d"
+        ~args:[ 4; 8 ] bench_sim_crash_round;
+      Test.make_indexed ~name:"semisync-two-step" ~fmt:"%s n=%d"
+        ~args:[ 4; 16; 32 ] bench_two_step;
+      Test.make_indexed ~name:"semisync-ring-baseline" ~fmt:"%s n=%d"
+        ~args:[ 4; 16; 32 ] bench_ring_baseline;
+      Test.make_indexed ~name:"msgnet-round-layer" ~fmt:"%s n=%d" ~args:[ 4; 8 ]
+        bench_round_layer;
+      Test.make_indexed ~name:"sync-floodset" ~fmt:"%s n=%d" ~args:[ 4; 8; 16 ]
+        bench_sync_flood;
+      Test.make_indexed ~name:"sync-early-deciding" ~fmt:"%s n=%d"
+        ~args:[ 4; 8; 16 ] bench_early_deciding;
+      Test.make_indexed ~name:"abd-write+read" ~fmt:"%s n=%d" ~args:[ 3; 5; 9 ]
+        bench_abd_write_read;
+      Test.make_indexed ~name:"ct-consensus" ~fmt:"%s n=%d" ~args:[ 3; 5 ]
+        bench_ct_consensus;
+      Test.make_indexed ~name:"safe-agreement" ~fmt:"%s n=%d" ~args:[ 2; 4; 8 ]
+        bench_safe_agreement;
+      Test.make_indexed ~name:"phased-consensus" ~fmt:"%s n=%d" ~args:[ 4; 8 ]
+        bench_phased_consensus;
+    ]
+
+let run_timing () =
+  Printf.printf "\n=== micro-benchmarks (estimated time per run) ===\n%!";
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let nanos =
+        match Analyze.OLS.estimates ols_result with
+        | Some (t :: _) -> t
+        | Some [] | None -> nan
+      in
+      rows := (name, nanos) :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  List.iter
+    (fun (name, nanos) ->
+      if Float.is_nan nanos then Printf.printf "  %-40s (no estimate)\n" name
+      else if nanos > 1_000_000.0 then
+        Printf.printf "  %-40s %10.3f ms/run\n" name (nanos /. 1_000_000.0)
+      else if nanos > 1_000.0 then
+        Printf.printf "  %-40s %10.3f us/run\n" name (nanos /. 1_000.0)
+      else Printf.printf "  %-40s %10.1f ns/run\n" name nanos)
+    rows
+
+let run_tables () =
+  Printf.printf "=== experiment tables (reduced trial counts) ===\n%!";
+  let tables =
+    List.map
+      (fun e -> e.Experiments.Registry.run ~seed ~trials:(Some 50))
+      Experiments.Registry.all
+  in
+  List.iter Experiments.Table.print tables;
+  List.filter (fun t -> not (Experiments.Table.ok t)) tables
+
+let () =
+  let failed = run_tables () in
+  run_timing ();
+  match failed with
+  | [] -> Printf.printf "\nbench: all experiment tables OK\n"
+  | failed ->
+    Printf.printf "\nbench: FAILED tables: %s\n"
+      (String.concat ", " (List.map (fun t -> t.Experiments.Table.id) failed));
+    exit 1

@@ -1,0 +1,181 @@
+(* Command-line runner for the paper's experiments (E1-E14).
+
+   `rrfd-experiments list`            enumerate experiments
+   `rrfd-experiments run E6 E9`       run selected experiments
+   `rrfd-experiments all`             run everything
+   options: --seed, --trials *)
+
+open Cmdliner
+
+let setup_logs () =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+let seed_arg =
+  let doc = "Random seed; every experiment is reproducible from it." in
+  Arg.(value & opt int Experiments.Registry.default_seed & info [ "seed" ] ~doc)
+
+let trials_arg =
+  let doc = "Override the per-configuration trial count." in
+  Arg.(value & opt (some int) None & info [ "trials" ] ~doc)
+
+let list_cmd =
+  let run () =
+    setup_logs ();
+    List.iter
+      (fun e ->
+        Printf.printf "%-4s %s\n" e.Experiments.Registry.id
+          e.Experiments.Registry.title)
+      Experiments.Registry.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the experiments and what they reproduce.")
+    Term.(const run $ const ())
+
+let run_tables tables =
+  List.iter Experiments.Table.print tables;
+  let failed =
+    List.filter (fun t -> not (Experiments.Table.ok t)) tables
+  in
+  if failed = [] then begin
+    Printf.printf "\nAll %d experiment table(s) match the paper's claims.\n"
+      (List.length tables);
+    0
+  end
+  else begin
+    Printf.printf "\n%d experiment table(s) FAILED: %s\n" (List.length failed)
+      (String.concat ", " (List.map (fun t -> t.Experiments.Table.id) failed));
+    1
+  end
+
+let run_cmd =
+  let ids_arg =
+    let doc = "Experiment ids to run (e.g. E6 e9)." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let run seed trials ids =
+    setup_logs ();
+    let entries =
+      List.map
+        (fun id ->
+          match Experiments.Registry.find id with
+          | Some e -> e
+          | None ->
+            Printf.eprintf "unknown experiment %S (try `list`)\n" id;
+            exit 2)
+        ids
+    in
+    run_tables
+      (List.map (fun e -> e.Experiments.Registry.run ~seed ~trials) entries)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run selected experiments.")
+    Term.(const run $ seed_arg $ trials_arg $ ids_arg)
+
+let all_cmd =
+  let run seed trials =
+    setup_logs ();
+    run_tables
+      (List.map
+         (fun e -> e.Experiments.Registry.run ~seed ~trials)
+         Experiments.Registry.all)
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment (E1-E14).")
+    Term.(const run $ seed_arg $ trials_arg)
+
+(* `lattice` — print the submodel relation between two named predicates at
+   a configurable (small) system size. *)
+let lattice_cmd =
+  let predicate_of_name ~f name =
+    match String.lowercase_ascii name with
+    | "crash" -> Some (Rrfd.Predicate.crash ~f)
+    | "omission" -> Some (Rrfd.Predicate.omission ~f)
+    | "async" -> Some (Rrfd.Predicate.async_resilient ~f)
+    | "shm" -> Some (Rrfd.Predicate.shared_memory ~f)
+    | "snapshot" -> Some (Rrfd.Predicate.snapshot ~f)
+    | "kset" -> Some (Rrfd.Predicate.k_set ~k:(f + 1))
+    | "eq5" -> Some Rrfd.Predicate.identical_views
+    | "dets" | "detector-s" -> Some Rrfd.Predicate.detector_s
+    | _ -> None
+  in
+  let names = "crash, omission, async, shm, snapshot, kset, eq5, detector-s" in
+  let a_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"LEFT" ~doc:names)
+  in
+  let b_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"RIGHT" ~doc:names)
+  in
+  let n_arg = Arg.(value & opt int 3 & info [ "n" ] ~doc:"System size (keep ≤ 4).") in
+  let f_arg = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Resilience parameter.") in
+  let rounds_arg =
+    Arg.(value & opt int 2 & info [ "rounds" ] ~doc:"History length (keep ≤ 2).")
+  in
+  let run a b n f rounds =
+    setup_logs ();
+    match (predicate_of_name ~f a, predicate_of_name ~f b) with
+    | Some pa, Some pb -> (
+      match Rrfd.Submodel.check_exhaustive ~n ~rounds pa pb with
+      | Rrfd.Submodel.Implies ->
+        Printf.printf "%s ⇒ %s over every ≤%d-round %d-process history\n"
+          (Rrfd.Predicate.name pa) (Rrfd.Predicate.name pb) rounds n;
+        0
+      | Rrfd.Submodel.Counterexample h ->
+        Printf.printf "%s ⇏ %s; counterexample:\n  %s\n"
+          (Rrfd.Predicate.name pa) (Rrfd.Predicate.name pb)
+          (Rrfd.Fault_history.to_string_compact h);
+        0)
+    | None, _ | _, None ->
+      Printf.eprintf "unknown predicate name; choose from: %s\n" names;
+      2
+  in
+  Cmd.v
+    (Cmd.info "lattice"
+       ~doc:"Check a submodel relation (Sec. 2) exhaustively at a small size.")
+    Term.(const run $ a_arg $ b_arg $ n_arg $ f_arg $ rounds_arg)
+
+(* `trace` — run one-round k-set agreement under a chosen model and print
+   the full transcript. *)
+let trace_cmd =
+  let n_arg = Arg.(value & opt int 6 & info [ "n" ] ~doc:"System size.") in
+  let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Agreement bound.") in
+  let run seed n k =
+    setup_logs ();
+    let rng = Dsim.Rng.create seed in
+    let inputs = Tasks.Inputs.distinct n in
+    let trace =
+      Rrfd.Trace.record ~n
+        ~check:(Rrfd.Predicate.k_set ~k)
+        ~pp_msg:Format.pp_print_int
+        ~algorithm:(Rrfd.Kset.one_round ~inputs)
+        ~detector:(Rrfd.Detector_gen.k_set rng ~n ~k)
+        ()
+    in
+    Format.printf "@[<v>%a@]@." (Rrfd.Trace.pp Format.pp_print_int) trace;
+    Printf.printf "history: %s\n"
+      (Rrfd.Fault_history.to_string_compact
+         trace.Rrfd.Trace.outcome.Rrfd.Engine.history);
+    match
+      Tasks.Agreement.check ~k ~inputs
+        trace.Rrfd.Trace.outcome.Rrfd.Engine.decisions
+    with
+    | None ->
+      Printf.printf "%d-set agreement: OK\n" k;
+      0
+    | Some reason ->
+      Printf.printf "%d-set agreement VIOLATED: %s\n" k reason;
+      1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run one-round k-set agreement (Thm 3.1) and print the transcript.")
+    Term.(const run $ seed_arg $ n_arg $ k_arg)
+
+let main =
+  let doc =
+    "Reproduce the results of Gafni's 'Round-by-Round Fault Detectors' \
+     (PODC 1998)."
+  in
+  Cmd.group
+    (Cmd.info "rrfd-experiments" ~version:"1.0.0" ~doc)
+    [ list_cmd; run_cmd; all_cmd; lattice_cmd; trace_cmd ]
+
+let () = exit (Cmd.eval' main)

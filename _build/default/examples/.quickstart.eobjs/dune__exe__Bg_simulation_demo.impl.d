@@ -1,0 +1,1 @@
+examples/bg_simulation_demo.ml: Array Dsim List Printf Rrfd Shm Syncnet Tasks

@@ -1,0 +1,1 @@
+examples/bg_simulation_demo.mli:

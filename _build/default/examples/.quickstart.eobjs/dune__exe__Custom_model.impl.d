@@ -1,0 +1,1 @@
+examples/custom_model.ml: Array Dsim List Printf Rrfd Tasks

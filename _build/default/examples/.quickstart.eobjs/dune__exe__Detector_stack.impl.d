@@ -1,0 +1,1 @@
+examples/detector_stack.ml: Array Dsim Format Msgnet Printf Rrfd Tasks

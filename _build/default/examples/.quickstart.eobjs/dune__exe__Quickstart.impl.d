@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dsim Format Printf Rrfd Tasks

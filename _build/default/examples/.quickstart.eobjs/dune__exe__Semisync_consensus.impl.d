@@ -1,0 +1,1 @@
+examples/semisync_consensus.ml: Array Dsim List Option Printf Rrfd Semisync Tasks

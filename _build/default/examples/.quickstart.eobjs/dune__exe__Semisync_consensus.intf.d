@@ -1,0 +1,1 @@
+examples/semisync_consensus.mli:

@@ -1,0 +1,1 @@
+examples/sync_vs_async.ml: Adversary Array Dsim Printf Rrfd Syncnet Tasks

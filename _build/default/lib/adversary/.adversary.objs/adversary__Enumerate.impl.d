@@ -1,0 +1,1 @@
+lib/adversary/enumerate.ml: Array List Rrfd

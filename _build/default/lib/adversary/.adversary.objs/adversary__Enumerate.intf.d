@@ -1,0 +1,1 @@
+lib/adversary/enumerate.mli: Rrfd

@@ -1,0 +1,1 @@
+lib/adversary/lower_bound.mli: Rrfd

@@ -1,0 +1,38 @@
+module Pset = Rrfd.Pset
+
+let round_assignments ~n =
+  let proper =
+    List.filter
+      (fun s -> not (Pset.equal s (Pset.full n)))
+      (Pset.subsets (Pset.full n))
+  in
+  let rec build i =
+    if i = n then [ [] ]
+    else
+      let rest = build (i + 1) in
+      List.concat_map (fun s -> List.map (fun tail -> s :: tail) rest) proper
+  in
+  List.map Array.of_list (build 0)
+
+let fold ~n ~rounds ~satisfying ~init ~f =
+  let assignments = round_assignments ~n in
+  let rec explore acc history depth =
+    if not (Rrfd.Predicate.holds satisfying history) then acc
+    else if depth = rounds then f acc history
+    else
+      List.fold_left
+        (fun acc d -> explore acc (Rrfd.Fault_history.append history d) (depth + 1))
+        acc assignments
+  in
+  explore init (Rrfd.Fault_history.empty ~n) 0
+
+let count ~n ~rounds ~satisfying =
+  fold ~n ~rounds ~satisfying ~init:0 ~f:(fun c _ -> c + 1)
+
+let find ~n ~rounds ~satisfying ~f =
+  let exception Found of Rrfd.Fault_history.t in
+  try
+    fold ~n ~rounds ~satisfying ~init:() ~f:(fun () h ->
+        if f h then raise (Found h));
+    None
+  with Found h -> Some h

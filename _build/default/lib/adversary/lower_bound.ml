@@ -1,0 +1,50 @@
+module Pset = Rrfd.Pset
+
+type t = {
+  n : int;
+  k : int;
+  rounds : int;
+  inputs : int array;
+  crash_specs : (Rrfd.Proc.t * int * Rrfd.Pset.t) list;
+  final_carriers : Rrfd.Proc.t array;
+}
+
+let required_processes ~k ~rounds = (k * (rounds + 1)) + 1
+
+let build ~n ~k ~rounds =
+  if k < 1 then invalid_arg "Lower_bound.build: k must be ≥ 1";
+  if rounds < 0 then invalid_arg "Lower_bound.build: rounds must be ≥ 0";
+  if n < required_processes ~k ~rounds then
+    invalid_arg "Lower_bound.build: system too small for the chain construction";
+  (* Carrier of chain j at round r is process k*r + j; it crashes at round
+     r + 1 delivering only to the next carrier. *)
+  let crash_specs = ref [] in
+  for r = 0 to rounds - 1 do
+    for j = 0 to k - 1 do
+      let carrier = (k * r) + j in
+      let successor = (k * (r + 1)) + j in
+      crash_specs := (carrier, r + 1, Pset.singleton successor) :: !crash_specs
+    done
+  done;
+  {
+    n;
+    k;
+    rounds;
+    inputs = Array.init n Fun.id;
+    crash_specs = List.rev !crash_specs;
+    final_carriers = Array.init k (fun j -> (k * rounds) + j);
+  }
+
+let omission_faulty t = Pset.of_list (List.init (t.k * t.rounds) Fun.id)
+
+let omission_drops t ~round ~sender =
+  (* Carrier p = k·r + j "crashes" at round r + 1 in the crash reading; as
+     an omitter it drops everyone but its successor at that round and
+     everyone afterwards. *)
+  if sender >= t.k * t.rounds then Pset.empty
+  else
+    let fault_round = (sender / t.k) + 1 in
+    let successor = sender + t.k in
+    if round < fault_round then Pset.empty
+    else if round = fault_round then Pset.remove successor (Pset.full t.n)
+    else Pset.full t.n

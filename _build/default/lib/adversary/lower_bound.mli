@@ -1,0 +1,43 @@
+(** The chain adversary behind Corollaries 4.2 and 4.4.
+
+    To force more than [k] distinct decisions from any [⌊f/k⌋]-round
+    algorithm, the adversary hides the [k] smallest input values inside [k]
+    disjoint {e crash chains}: at every round, the current carrier of each
+    hidden value crashes while delivering its last message to exactly one
+    fresh carrier.  After [R = ⌊f/k⌋] rounds (spending [k·R ≤ f] crashes)
+    each hidden value is known to exactly one live process, so a min-flood
+    algorithm truncated at [R] rounds produces [k + 1] distinct decisions;
+    with one extra round the carriers are finally heard by everybody and
+    agreement returns — the crossover at [⌊f/k⌋ + 1] that the paper's lower
+    bound predicts. *)
+
+type t = {
+  n : int;
+  k : int;
+  rounds : int;  (** Rounds of crashing the adversary sustains. *)
+  inputs : int array;  (** Input assignment (process ids). *)
+  crash_specs : (Rrfd.Proc.t * int * Rrfd.Pset.t) list;
+      (** [(p, r, survivors)]: [p] crashes at round [r], its last messages
+          reaching exactly [survivors] — feed to the synchronous substrate's
+          crash-pattern constructor. *)
+  final_carriers : Rrfd.Proc.t array;
+      (** The [k] live processes left knowing the hidden values [0..k-1]. *)
+}
+
+val required_processes : k:int -> rounds:int -> int
+(** Minimum system size the construction needs: [k * (rounds + 1) + 1]. *)
+
+val build : n:int -> k:int -> rounds:int -> t
+(** Construct the adversary.
+    @raise Invalid_argument if [n < required_processes ~k ~rounds] or
+    [k < 1] or [rounds < 0]. *)
+
+val omission_faulty : t -> Rrfd.Pset.t
+(** The senders the {e omission} reading of the same adversary declares
+    faulty — every carrier, [k·rounds] of them. *)
+
+val omission_drops : t -> round:int -> sender:Rrfd.Proc.t -> Rrfd.Pset.t
+(** The same hiding schedule expressed as send-omissions (Corollary 4.2's
+    own fault model): at its crash round a carrier's message reaches only
+    its successor, and afterwards nobody — but the process stays alive.
+    Feed to the synchronous substrate's omission-pattern constructor. *)

@@ -1,0 +1,1 @@
+lib/core/adopt_commit.ml: Algorithm Array Format Fun List Option Printf Proc Pset

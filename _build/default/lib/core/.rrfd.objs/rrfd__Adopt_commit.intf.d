@@ -1,0 +1,1 @@
+lib/core/adopt_commit.mli: Algorithm Format

@@ -1,0 +1,1 @@
+lib/core/algorithm.mli: Proc Pset

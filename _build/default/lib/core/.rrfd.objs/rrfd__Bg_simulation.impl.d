@@ -1,0 +1,1 @@
+lib/core/bg_simulation.ml: Algorithm Array Dsim List Option Pset

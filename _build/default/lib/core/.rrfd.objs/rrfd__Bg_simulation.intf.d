@@ -1,0 +1,1 @@
+lib/core/bg_simulation.mli: Algorithm Dsim

@@ -1,0 +1,1 @@
+lib/core/detector.ml: Array Fault_history List Pset

@@ -1,0 +1,1 @@
+lib/core/detector.mli: Fault_history Pset

@@ -1,0 +1,1 @@
+lib/core/detector_gen.ml: Array Detector Dsim Fun Printf Pset

@@ -1,0 +1,1 @@
+lib/core/detector_gen.mli: Detector Dsim

@@ -1,0 +1,1 @@
+lib/core/emulation.ml: Array Detector Fault_history Pset

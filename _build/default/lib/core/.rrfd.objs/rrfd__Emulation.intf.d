@@ -1,0 +1,1 @@
+lib/core/emulation.mli: Detector Fault_history Pset

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Algorithm Array Detector Fault_history Option Predicate Pset

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Algorithm Detector Fault_history Predicate

@@ -1,0 +1,1 @@
+lib/core/fault_history.ml: Array Buffer Format List Printf Pset String

@@ -1,0 +1,1 @@
+lib/core/fault_history.mli: Format Proc Pset

@@ -1,0 +1,1 @@
+lib/core/full_info.ml: Algorithm Array Format Int Map Option Proc Pset

@@ -1,0 +1,1 @@
+lib/core/kset.ml: Algorithm Array Option Proc Pset

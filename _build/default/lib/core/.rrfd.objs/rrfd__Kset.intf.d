@@ -1,0 +1,1 @@
+lib/core/kset.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/core/model.ml: Detector Detector_gen Dsim Predicate Printf

@@ -1,0 +1,1 @@
+lib/core/model.mli: Detector Dsim Predicate

@@ -1,0 +1,1 @@
+lib/core/phased_consensus.ml: Adopt_commit Algorithm Array Detector Detector_gen Dsim Fault_history List Option Predicate Printf Proc Pset

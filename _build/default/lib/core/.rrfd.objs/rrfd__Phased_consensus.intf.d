@@ -1,0 +1,1 @@
+lib/core/phased_consensus.mli: Algorithm Detector Dsim Predicate

@@ -1,0 +1,1 @@
+lib/core/predicate.ml: Fault_history List Printf Pset

@@ -1,0 +1,1 @@
+lib/core/predicate.mli: Fault_history

@@ -1,0 +1,1 @@
+lib/core/proc.ml: Format Fun Int List

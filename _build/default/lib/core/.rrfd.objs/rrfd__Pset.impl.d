@@ -1,0 +1,1 @@
+lib/core/pset.ml: Dsim Format Int List Printf Proc

@@ -1,0 +1,1 @@
+lib/core/pset.mli: Dsim Format Proc

@@ -1,0 +1,1 @@
+lib/core/sim_crash.ml: Adopt_commit Algorithm Array Fault_history Fun List Option Printf Proc Pset

@@ -1,0 +1,1 @@
+lib/core/sim_crash.mli: Algorithm Fault_history Pset

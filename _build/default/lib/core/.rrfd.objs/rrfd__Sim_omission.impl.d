@@ -1,0 +1,1 @@
+lib/core/sim_omission.ml: Engine Predicate

@@ -1,0 +1,1 @@
+lib/core/sim_omission.mli: Algorithm Detector Engine

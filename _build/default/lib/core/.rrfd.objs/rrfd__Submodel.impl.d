@@ -1,0 +1,1 @@
+lib/core/submodel.ml: Array Detector Dsim Fault_history Format List Predicate Pset

@@ -1,0 +1,1 @@
+lib/core/submodel.mli: Detector Dsim Fault_history Format Predicate

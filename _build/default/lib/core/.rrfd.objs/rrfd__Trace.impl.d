@@ -1,0 +1,1 @@
+lib/core/trace.ml: Algorithm Array Engine Fault_history Format List Proc Pset

@@ -1,0 +1,1 @@
+lib/core/trace.mli: Algorithm Detector Engine Format Predicate Proc Pset

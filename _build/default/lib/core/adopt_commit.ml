@@ -1,0 +1,129 @@
+type 'v vote = Commit_vote of 'v | Adopt_vote of 'v
+
+type 'v outcome = Commit of 'v | Adopt of 'v
+
+let value_of = function Commit v | Adopt v -> v
+
+let is_commit = function Commit _ -> true | Adopt _ -> false
+
+let all_equal = function
+  | [] -> None
+  | v :: rest -> if List.for_all (fun w -> w = v) rest then Some v else None
+
+let propose ~own ~seen =
+  match all_equal seen with
+  | Some v -> Commit_vote v
+  | None -> Adopt_vote own
+
+let resolve ~own ~seen =
+  let commits =
+    List.filter_map (function Commit_vote v -> Some v | Adopt_vote _ -> None) seen
+  in
+  match commits with
+  | [] -> Adopt own
+  | v :: _ ->
+    if List.length commits = List.length seen && all_equal commits <> None then
+      Commit v
+    else Adopt v
+
+type 'v message = Value of 'v | Vote of 'v vote
+
+type 'v state = {
+  me : Proc.t;
+  input : 'v;
+  vote : 'v vote option;
+  result : 'v outcome option;
+}
+
+let algorithm ~inputs =
+  {
+    Algorithm.name = "adopt-commit";
+    init =
+      (fun ~n p ->
+        if Array.length inputs <> n then
+          invalid_arg "Adopt_commit.algorithm: inputs length mismatch";
+        { me = p; input = inputs.(p); vote = None; result = None });
+    emit =
+      (fun s ~round ->
+        match (round, s.vote) with
+        | 1, _ -> Value s.input
+        | _, Some vote -> Vote vote
+        | _, None -> Value s.input);
+    deliver =
+      (fun s ~round ~received ~faulty ->
+        (* Self-inclusion: a process knows its own round message through its
+           local state even when the detector marks it late. *)
+        let seen extract own =
+          let items =
+            Array.to_list received |> List.filter_map (Option.map extract)
+          in
+          if Pset.mem s.me faulty then own :: items else items
+        in
+        match round with
+        | 1 ->
+          let values =
+            seen (function Value v -> v | Vote _ -> assert false) s.input
+          in
+          { s with vote = Some (propose ~own:s.input ~seen:values) }
+        | 2 ->
+          let own_vote = match s.vote with Some v -> v | None -> assert false in
+          let votes =
+            seen (function Vote v -> v | Value _ -> assert false) own_vote
+          in
+          { s with result = Some (resolve ~own:s.input ~seen:votes) }
+        | _ -> s);
+    decide = (fun s -> s.result);
+  }
+
+let pp_outcome pp_v ppf = function
+  | Commit v -> Format.fprintf ppf "commit %a" pp_v v
+  | Adopt v -> Format.fprintf ppf "adopt %a" pp_v v
+
+let check_outcomes ~inputs outcomes =
+  let n = Array.length inputs in
+  if Array.length outcomes <> n then
+    invalid_arg "Adopt_commit.check_outcomes: length mismatch";
+  let undecided = ref None in
+  Array.iteri
+    (fun i o -> if o = None && !undecided = None then undecided := Some i)
+    outcomes;
+  match !undecided with
+  | Some i -> Some (Printf.sprintf "termination: p%d produced no outcome" i)
+  | None ->
+    let outcome i = Option.get outcomes.(i) in
+    let invalid = ref None in
+    for i = 0 to n - 1 do
+      let v = value_of (outcome i) in
+      if (not (Array.exists (fun w -> w = v) inputs)) && !invalid = None then
+        invalid := Some (i, v)
+    done;
+    (match !invalid with
+    | Some (i, _) -> Some (Printf.sprintf "validity: p%d output a non-input value" i)
+    | None ->
+      let first = inputs.(0) in
+      let convergent = Array.for_all (fun v -> v = first) inputs in
+      let all_commit_first =
+        Array.for_all
+          (fun i -> match outcome i with Commit v -> v = first | Adopt _ -> false)
+          (Array.init n Fun.id)
+      in
+      if convergent && not all_commit_first then
+        Some "convergence: identical inputs but some process did not commit"
+      else
+        let committed =
+          Array.to_list outcomes
+          |> List.filter_map (function
+               | Some (Commit v) -> Some v
+               | Some (Adopt _) | None -> None)
+        in
+        let agreement_broken =
+          List.exists
+            (fun v ->
+              Array.exists
+                (fun i -> value_of (outcome i) <> v)
+                (Array.init n Fun.id))
+            committed
+        in
+        if agreement_broken then
+          Some "agreement: a committed value was not universally carried"
+        else None)

@@ -1,0 +1,60 @@
+(** The adopt-commit protocol (Section 4.2).
+
+    Each process inputs a value it proposes; each process outputs either
+    [Commit v] or [Adopt v] for some input value [v], such that
+
+    + {b convergence}: if all inputs equal [v], every process commits [v];
+    + {b agreement}: if any process commits [v], every process commits or
+      adopts [v] (in particular no other value is committed).
+
+    The paper gives a wait-free two-round protocol.  Run as an RRFD
+    algorithm it is correct under the atomic-snapshot predicate
+    [Predicate.snapshot] (self-inclusion plus comparable views), which is
+    what the crash-fault simulation of Theorem 4.3 uses; the register-based
+    original is in the [shm] library.
+
+    The pure per-round decision functions are exposed so that
+    {!Sim_crash} can run [n] adopt-commit instances inside two of its
+    rounds without duplicating the logic. *)
+
+type 'v vote =
+  | Commit_vote of 'v  (** "commit v": every first-round value seen was [v] *)
+  | Adopt_vote of 'v  (** "adopt v": mixed values seen; [v] is the proposer's own *)
+
+type 'v outcome = Commit of 'v | Adopt of 'v
+
+val value_of : 'v outcome -> 'v
+
+val is_commit : 'v outcome -> bool
+
+val propose : own:'v -> seen:'v list -> 'v vote
+(** First-round transition.  [seen] is every value received (the protocol's
+    self-inclusion means it contains [own]); commit iff all are equal.
+    Values are compared with polymorphic equality. *)
+
+val resolve : own:'v -> seen:'v vote list -> 'v outcome
+(** Second-round transition.  [seen] is every vote received (including the
+    process's own): commit [v] if all votes are [Commit_vote v]; else adopt
+    [v] if some [Commit_vote v] was seen; else adopt [own]. *)
+
+type 'v state
+(** Per-process state of the two-round RRFD protocol. *)
+
+type 'v message = Value of 'v | Vote of 'v vote
+(** Round messages of the RRFD protocol. *)
+
+val algorithm : inputs:'v array -> ('v state, 'v message, 'v outcome) Algorithm.t
+(** The two-round protocol as an RRFD algorithm: round 1 emits the input,
+    round 2 emits the vote, after which the process decides.  Correct under
+    [Predicate.snapshot ~f] for any [f] (wait-free: [f = n − 1]). *)
+
+val pp_outcome :
+  (Format.formatter -> 'v -> unit) -> Format.formatter -> 'v outcome -> unit
+
+val check_outcomes : inputs:'v array -> 'v outcome option array -> string option
+(** [check_outcomes ~inputs outcomes] verifies the adopt-commit
+    specification on one execution (shared by the RRFD and register
+    versions): every process decided; convergence — equal inputs force
+    everyone to commit that input; agreement — a committed value is
+    committed or adopted by everybody; validity — every output value is
+    some process's input.  Returns the earliest violation, or [None]. *)

@@ -1,0 +1,10 @@
+type ('state, 'msg, 'out) t = {
+  name : string;
+  init : n:int -> Proc.t -> 'state;
+  emit : 'state -> round:int -> 'msg;
+  deliver :
+    'state -> round:int -> received:'msg option array -> faulty:Pset.t -> 'state;
+  decide : 'state -> 'out option;
+}
+
+let map_output f a = { a with decide = (fun s -> Option.map f (a.decide s)) }

@@ -1,0 +1,35 @@
+(** Abstract emit/receive algorithms (Sec. 1 of the paper).
+
+    An RRFD algorithm runs at every process and proceeds in rounds:
+
+    {v
+      r := 1
+      forever do
+        compute message m_{i,r} for round r
+        emit m_{i,r}
+        wait until ∀ p_j: received m_{j,r} or p_j ∈ D(i,r)
+        r := r + 1
+    v}
+
+    The engine drives this loop; an algorithm supplies the per-process state
+    machine.  ['msg] is the round message type, ['out] the decision type. *)
+
+type ('state, 'msg, 'out) t = {
+  name : string;
+  init : n:int -> Proc.t -> 'state;
+      (** Initial state of each process in an [n]-process system. *)
+  emit : 'state -> round:int -> 'msg;
+      (** The message this process sends to everyone in the given round. *)
+  deliver :
+    'state -> round:int -> received:'msg option array -> faulty:Pset.t -> 'state;
+      (** End-of-round transition.  [received.(j)] is [Some m] iff
+          [p_j ∉ D(i,r)] (so exactly the processes outside [faulty] are
+          received); [faulty] is [D(i,r)].  Note the paper allows a process
+          to appear in its own fault set, in which case it still knows its
+          own emitted message through its local state. *)
+  decide : 'state -> 'out option;
+      (** [Some v] once the process has irrevocably decided [v]. *)
+}
+
+val map_output : ('out1 -> 'out2) -> ('s, 'm, 'out1) t -> ('s, 'm, 'out2) t
+(** Post-compose the decision function. *)

@@ -1,0 +1,252 @@
+(* Safe-agreement instances are modelled at doorway granularity: proposing
+   is a begin/finish pair of atomic actions; a simulator crashing between
+   them wedges the instance forever.  The chosen value is the first
+   proposal to enter the doorway — fixed before anyone can resolve, which
+   is the agreement property the register-level protocol
+   (Shm.Safe_agreement) provides; here the simulation logic is the
+   subject, not the shared-memory implementation. *)
+
+type instance = {
+  mutable first_proposal : Pset.t option;
+  mutable in_doorway : int; (* simulators currently mid-propose *)
+  mutable resolved : Pset.t option;
+}
+
+type 'out outcome = {
+  completed : int array;
+  decisions : 'out option array;
+  fault_set_sizes_ok : bool;
+  wedged_instances : int;
+  stalled_processes : int;
+  actions : int;
+}
+
+(* Per-simulator (and canonical-replay) view of the simulated system. *)
+type ('s, 'm) local = {
+  states : 's array;
+  round_of : int array; (* next simulated round per process *)
+  emissions : 'm option array array; (* cache: emissions.(r-1).(q) *)
+  proposed : bool array array; (* this simulator proposed for (r-1, j) *)
+  mutable mid_propose : (int * int) option;
+  mutable actions_taken : int;
+  mutable crashed : bool;
+}
+
+let simulate ~rng ~simulators ?(crashes = []) ~n ~k ~rounds ~algorithm () =
+  if simulators < 1 then invalid_arg "Bg_simulation: need a simulator";
+  if k < 0 || k >= n then invalid_arg "Bg_simulation: need 0 ≤ k < n";
+  if List.length crashes >= simulators then
+    invalid_arg "Bg_simulation: at least one simulator must survive";
+  let open Algorithm in
+  let crash_at = Array.make simulators max_int in
+  List.iter
+    (fun (s, after) ->
+      if s < 0 || s >= simulators then
+        invalid_arg "Bg_simulation: crash simulator out of range";
+      crash_at.(s) <- after)
+    crashes;
+  let instances =
+    Array.init rounds (fun _ ->
+        Array.init n (fun _ ->
+            { first_proposal = None; in_doorway = 0; resolved = None }))
+  in
+  let instance ~j ~r = instances.(r - 1).(j) in
+  let fresh_local () =
+    {
+      states = Array.init n (fun j -> algorithm.init ~n j);
+      round_of = Array.make n 1;
+      emissions = Array.make_matrix rounds n None;
+      proposed = Array.make_matrix rounds n false;
+      mid_propose = None;
+      actions_taken = 0;
+      crashed = false;
+    }
+  in
+  let locals = Array.init simulators (fun _ -> fresh_local ()) in
+  let total_actions = ref 0 in
+  (* Emission of process q at round r, from this local's deterministic
+     replica.  Cached, because the replica moves past round r. *)
+  let emission_of local q r =
+    match local.emissions.(r - 1).(q) with
+    | Some m -> m
+    | None ->
+      assert (local.round_of.(q) = r);
+      let m = algorithm.emit local.states.(q) ~round:r in
+      local.emissions.(r - 1).(q) <- Some m;
+      m
+  in
+  let advance local j r receive_set =
+    let received =
+      Array.init n (fun q ->
+          if Pset.mem q receive_set then Some (emission_of local q r) else None)
+    in
+    let faulty = Pset.diff (Pset.full n) receive_set in
+    (* cache j's own round-r emission before its state moves on *)
+    ignore (emission_of local j r);
+    local.states.(j) <- algorithm.deliver local.states.(j) ~round:r ~received ~faulty;
+    local.round_of.(j) <- r + 1
+  in
+  (* One atomic action for simulator s; false = nothing to do right now. *)
+  let act s =
+    let local = locals.(s) in
+    match local.mid_propose with
+    | Some (j, r) ->
+      let inst = instance ~j ~r in
+      inst.in_doorway <- inst.in_doorway - 1;
+      local.mid_propose <- None;
+      true
+    | None ->
+      let apply_one () =
+        let found = ref false in
+        for j = 0 to n - 1 do
+          if not !found then begin
+            let r = local.round_of.(j) in
+            if r <= rounds then
+              match (instance ~j ~r).resolved with
+              | Some receive_set
+                when
+                  (* every member's round-r emission is available locally:
+                     cached (the member's replica already passed round r)
+                     or computable right now *)
+                  Pset.for_all
+                    (fun q ->
+                      Option.is_some local.emissions.(r - 1).(q)
+                      || local.round_of.(q) = r)
+                    receive_set ->
+                advance local j r receive_set;
+                found := true
+              | Some _ | None -> ()
+          end
+        done;
+        !found
+      in
+      let resolve_one () =
+        let found = ref false in
+        for j = 0 to n - 1 do
+          if not !found then begin
+            let r = local.round_of.(j) in
+            if r <= rounds then begin
+              let inst = instance ~j ~r in
+              if
+                inst.resolved = None && inst.in_doorway = 0
+                && Option.is_some inst.first_proposal
+              then begin
+                inst.resolved <- inst.first_proposal;
+                found := true
+              end
+            end
+          end
+        done;
+        !found
+      in
+      let propose_one () =
+        let found = ref false in
+        for j = 0 to n - 1 do
+          if not !found then begin
+            let r = local.round_of.(j) in
+            if r <= rounds then begin
+              let inst = instance ~j ~r in
+              let ready =
+                Pset.filter
+                  (fun q ->
+                    Option.is_some local.emissions.(r - 1).(q)
+                    || local.round_of.(q) = r)
+                  (Pset.full n)
+              in
+              if
+                inst.resolved = None
+                && (not local.proposed.(r - 1).(j))
+                && Pset.cardinal ready >= n - k
+                && Pset.mem j ready
+              then begin
+                if inst.first_proposal = None then inst.first_proposal <- Some ready;
+                inst.in_doorway <- inst.in_doorway + 1;
+                local.proposed.(r - 1).(j) <- true;
+                local.mid_propose <- Some (j, r);
+                found := true
+              end
+            end
+          end
+        done;
+        !found
+      in
+      apply_one () || resolve_one () || propose_one ()
+  in
+  (* Driver: random fair interleaving with explicit crashes; terminate
+     when every live simulator has nothing to do (remaining instances are
+     wedged or waiting on wedged ones). *)
+  let guard = ref (max 1000 (simulators * n * rounds * 200)) in
+  let rec drive () =
+    Array.iteri
+      (fun s local ->
+        if (not local.crashed) && local.actions_taken >= crash_at.(s) then
+          local.crashed <- true)
+      locals;
+    let live = ref [] in
+    for s = simulators - 1 downto 0 do
+      if not locals.(s).crashed then live := s :: !live
+    done;
+    match !live with
+    | [] -> ()
+    | ready ->
+      decr guard;
+      if !guard <= 0 then ()
+      else begin
+        let s = Dsim.Rng.choose rng ready in
+        let stepped s' =
+          if act s' then begin
+            locals.(s').actions_taken <- locals.(s').actions_taken + 1;
+            incr total_actions;
+            true
+          end
+          else false
+        in
+        if stepped s then drive ()
+        else if List.exists (fun s' -> s' <> s && stepped s') ready then drive ()
+        else () (* globally quiescent *)
+      end
+  in
+  drive ();
+  (* Canonical read-out: replay every resolved instance deterministically —
+     what every correct simulator converges to. *)
+  let canon = fresh_local () in
+  let rec settle () =
+    let progressed = ref false in
+    for j = 0 to n - 1 do
+      let r = canon.round_of.(j) in
+      if r <= rounds then
+        match (instance ~j ~r).resolved with
+        | Some receive_set
+          when
+            Pset.for_all
+              (fun q ->
+                Option.is_some canon.emissions.(r - 1).(q)
+                || canon.round_of.(q) = r)
+              receive_set ->
+          advance canon j r receive_set;
+          progressed := true
+        | Some _ | None -> ()
+    done;
+    if !progressed then settle ()
+  in
+  settle ();
+  let wedged = ref 0 and sizes_ok = ref true in
+  Array.iter
+    (Array.iter (fun inst ->
+         if inst.in_doorway > 0 && inst.resolved = None then incr wedged;
+         match inst.resolved with
+         | Some set -> if n - Pset.cardinal set > k then sizes_ok := false
+         | None -> ()))
+    instances;
+  let completed = Array.map (fun r -> r - 1) canon.round_of in
+  {
+    completed;
+    decisions = Array.map algorithm.decide canon.states;
+    fault_set_sizes_ok = !sizes_ok;
+    wedged_instances = !wedged;
+    stalled_processes =
+      Array.fold_left
+        (fun acc c -> if c < rounds then acc + 1 else acc)
+        0 completed;
+    actions = !total_actions;
+  }

@@ -1,0 +1,50 @@
+(** The Borowsky–Gafni simulation: wait-free simulators run a k-resilient
+    n-process round-based protocol.
+
+    Section 4 turns asynchronous impossibility results into synchronous
+    lower bounds; those asynchronous results ([9, 11, 12]) rest on this
+    simulation, introduced in the same line of work as the paper's iterated
+    models ([4]).  [m = k + 1] simulators, of which any [k] may crash,
+    cooperatively execute an [n]-process protocol that tolerates [k]
+    crashes: every simulated step is funnelled through a {e safe-agreement}
+    instance (see {!Shm.Safe_agreement} for the register-level protocol;
+    here instances are modelled at doorway granularity), so all simulators
+    agree on every simulated process's round-[r] receive set.  A simulator
+    that crashes inside a doorway wedges {e that one instance} — the
+    corresponding simulated process stops, and with at most [k] simulator
+    crashes at most [k] simulated processes stop: the simulated execution
+    is a legal [k]-resilient asynchronous one.
+
+    Simulated rounds follow the item-3 discipline: a receive set is
+    proposed once at least [n − k] round-[r] emissions are computable, so
+    every agreed fault set has [|D(j,r)| ≤ k]. *)
+
+type 'out outcome = {
+  completed : int array;  (** Simulated rounds completed, per process. *)
+  decisions : 'out option array;
+      (** Decisions of simulated processes (canonical replay). *)
+  fault_set_sizes_ok : bool;
+      (** Every agreed receive set missed at most [k] processes. *)
+  wedged_instances : int;
+      (** Safe-agreement instances blocked by simulator crashes. *)
+  stalled_processes : int;
+      (** Simulated processes that did not complete every round. *)
+  actions : int;  (** Total simulator actions executed. *)
+}
+
+val simulate :
+  rng:Dsim.Rng.t ->
+  simulators:int ->
+  ?crashes:(int * int) list ->
+  n:int ->
+  k:int ->
+  rounds:int ->
+  algorithm:('s, 'm, 'out) Algorithm.t ->
+  unit ->
+  'out outcome
+(** [simulate ~rng ~simulators ~n ~k ~rounds ~algorithm ()] runs the
+    simulation under a random interleaving of simulator actions.
+    [crashes] lists [(simulator, after_actions)] pairs — the crash may land
+    inside a doorway, wedging one instance.
+    @raise Invalid_argument if [simulators < 1], [k ≥ n], or more crashes
+    than [simulators − 1] are requested (someone must survive). *)

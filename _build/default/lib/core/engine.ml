@@ -1,0 +1,78 @@
+type 'out outcome = {
+  decisions : 'out option array;
+  decision_rounds : int option array;
+  rounds_used : int;
+  history : Fault_history.t;
+  violation : string option;
+}
+
+let validate_round n sets =
+  if Array.length sets <> n then
+    invalid_arg "Engine: detector returned wrong number of fault sets";
+  Array.iter
+    (fun s ->
+      if not (Pset.subset s (Pset.full n)) then
+        invalid_arg "Engine: detector named a process outside the system";
+      if Pset.equal s (Pset.full n) then
+        invalid_arg "Engine: detector declared every process faulty (D = S)")
+    sets
+
+(* One round: emit, consult detector, deliver.  Returns the new history. *)
+let execute_round ~n ~algorithm ~detector ~round states history =
+  let open Algorithm in
+  let emitted = Array.map (fun s -> algorithm.emit s ~round) states in
+  let fault_sets = Detector.next detector history in
+  validate_round n fault_sets;
+  let history = Fault_history.append history fault_sets in
+  for i = 0 to n - 1 do
+    let faulty = fault_sets.(i) in
+    let received =
+      Array.init n (fun j -> if Pset.mem j faulty then None else Some emitted.(j))
+    in
+    states.(i) <- algorithm.deliver states.(i) ~round ~received ~faulty
+  done;
+  history
+
+let run ~n ?(max_rounds = 64) ?check ?(stop_when_decided = true) ~algorithm
+    ~detector () =
+  let open Algorithm in
+  let states = Array.init n (fun i -> algorithm.init ~n i) in
+  let decisions = Array.make n None in
+  let decision_rounds = Array.make n None in
+  let record_decisions round =
+    for i = 0 to n - 1 do
+      if Option.is_none decisions.(i) then begin
+        match algorithm.decide states.(i) with
+        | None -> ()
+        | Some v ->
+          decisions.(i) <- Some v;
+          decision_rounds.(i) <- Some round
+      end
+    done
+  in
+  let all_decided () = Array.for_all Option.is_some decisions in
+  let rec loop round history =
+    if round > max_rounds || (stop_when_decided && all_decided ()) then
+      { decisions; decision_rounds; rounds_used = round - 1; history; violation = None }
+    else
+      let history = execute_round ~n ~algorithm ~detector ~round states history in
+      record_decisions round;
+      let violation = Option.bind check (fun p -> Predicate.explain p history) in
+      match violation with
+      | Some _ ->
+        { decisions; decision_rounds; rounds_used = round; history; violation }
+      | None -> loop (round + 1) history
+  in
+  loop 1 (Fault_history.empty ~n)
+
+let states_after ~n ~rounds ~algorithm ~detector () =
+  let open Algorithm in
+  let states = Array.init n (fun i -> algorithm.init ~n i) in
+  let rec loop round history =
+    if round > rounds then history
+    else
+      let history = execute_round ~n ~algorithm ~detector ~round states history in
+      loop (round + 1) history
+  in
+  let history = loop 1 (Fault_history.empty ~n) in
+  (states, history)

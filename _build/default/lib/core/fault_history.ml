@@ -1,0 +1,142 @@
+type t = {
+  n : int;
+  rounds : Pset.t array list; (* most recent round first *)
+  count : int;
+}
+
+let empty ~n =
+  if n < 1 || n > Pset.max_universe then invalid_arg "Fault_history.empty: bad n";
+  { n; rounds = []; count = 0 }
+
+let n h = h.n
+
+let rounds h = h.count
+
+let validate_round n d =
+  if Array.length d <> n then invalid_arg "Fault_history: wrong array length";
+  Array.iter
+    (fun s ->
+      if not (Pset.subset s (Pset.full n)) then
+        invalid_arg "Fault_history: fault set mentions process out of range")
+    d
+
+let append h d =
+  validate_round h.n d;
+  { h with rounds = Array.copy d :: h.rounds; count = h.count + 1 }
+
+let nth_round h round =
+  if round < 1 || round > h.count then invalid_arg "Fault_history: round out of range";
+  List.nth h.rounds (h.count - round)
+
+let round_sets h ~round = Array.copy (nth_round h round)
+
+let d h ~proc ~round =
+  if proc < 0 || proc >= h.n then invalid_arg "Fault_history.d: proc out of range";
+  (nth_round h round).(proc)
+
+let round_union h ~round =
+  Array.fold_left Pset.union Pset.empty (nth_round h round)
+
+let round_inter h ~round =
+  Array.fold_left Pset.inter (Pset.full h.n) (nth_round h round)
+
+let fold_rounds f h init =
+  let indexed = List.rev h.rounds in
+  let _, acc =
+    List.fold_left (fun (r, acc) sets -> (r + 1, f r sets acc)) (1, init) indexed
+  in
+  acc
+
+let cumulative_union h =
+  fold_rounds
+    (fun _ sets acc -> Array.fold_left Pset.union acc sets)
+    h Pset.empty
+
+let cumulative_union_upto h ~round =
+  fold_rounds
+    (fun r sets acc ->
+      if r <= round then Array.fold_left Pset.union acc sets else acc)
+    h Pset.empty
+
+let of_rounds ~n l =
+  List.fold_left append (empty ~n) l
+
+let equal a b =
+  a.n = b.n && a.count = b.count
+  && List.for_all2 (fun ra rb -> Array.for_all2 Pset.equal ra rb) a.rounds b.rounds
+
+let to_string_compact h =
+  let buffer = Buffer.create 64 in
+  Buffer.add_string buffer (Printf.sprintf "n=%d" h.n);
+  ignore
+    (fold_rounds
+       (fun r sets () ->
+         Buffer.add_string buffer (Printf.sprintf ";%d:" r);
+         Array.iter
+           (fun s ->
+             Buffer.add_char buffer '{';
+             Buffer.add_string buffer
+               (String.concat "," (List.map string_of_int (Pset.to_list s)));
+             Buffer.add_char buffer '}')
+           sets)
+       h ());
+  Buffer.contents buffer
+
+let of_string_compact text =
+  let fail () = invalid_arg "Fault_history.of_string_compact: malformed input" in
+  match String.split_on_char ';' text with
+  | [] -> fail ()
+  | header :: rounds_text ->
+    let n =
+      match String.split_on_char '=' header with
+      | [ "n"; v ] -> ( match int_of_string_opt v with Some n -> n | None -> fail ())
+      | _ -> fail ()
+    in
+    let parse_set s =
+      if s = "" then Pset.empty
+      else
+        String.split_on_char ',' s
+        |> List.map (fun id ->
+               match int_of_string_opt id with Some i -> i | None -> fail ())
+        |> Pset.of_list
+    in
+    let parse_round text =
+      let body =
+        match String.index_opt text ':' with
+        | Some colon -> String.sub text (colon + 1) (String.length text - colon - 1)
+        | None -> fail ()
+      in
+      (* split "{a}{b}{c}" on "}{" after trimming outer braces *)
+      let body =
+        if String.length body >= 2 && body.[0] = '{'
+           && body.[String.length body - 1] = '}'
+        then String.sub body 1 (String.length body - 2)
+        else fail ()
+      in
+      let parts =
+        if body = "" then [ "" ]
+        else
+          (* There are n segments separated by "}{". *)
+          String.split_on_char '}' body
+          |> List.map (fun s ->
+                 if String.length s > 0 && s.[0] = '{' then
+                   String.sub s 1 (String.length s - 1)
+                 else s)
+      in
+      let sets = Array.of_list (List.map parse_set parts) in
+      if Array.length sets <> n then fail ();
+      sets
+    in
+    List.fold_left (fun h r -> append h (parse_round r)) (empty ~n) rounds_text
+
+let pp ppf h =
+  Format.fprintf ppf "@[<v>";
+  ignore
+    (fold_rounds
+       (fun r sets first ->
+         if not first then Format.fprintf ppf "@,";
+         Format.fprintf ppf "round %d:" r;
+         Array.iteri (fun i s -> Format.fprintf ppf " D(%d)=%a" i Pset.pp s) sets;
+         false)
+       h true);
+  Format.fprintf ppf "@]"

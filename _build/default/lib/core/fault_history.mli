@@ -1,0 +1,72 @@
+(** Fault histories: the family [{D(i,r)}] of an RRFD execution.
+
+    In round [r], process [p_i] is told by the fault detector that the
+    processes in [D(i,r)] are faulty (it does not wait for their round-[r]
+    messages).  A fault history records these sets for every process and
+    every completed round.  RRFD predicates ({!Predicate}) are properties of
+    fault histories; the engine ({!Engine}) produces one per execution.
+
+    Rounds are numbered from 1, matching the paper. *)
+
+type t
+(** An immutable fault history prefix. *)
+
+val empty : n:int -> t
+(** [empty ~n] is the history of zero completed rounds in an [n]-process
+    system.
+    @raise Invalid_argument if [n < 1] or [n > Pset.max_universe]. *)
+
+val n : t -> int
+(** Number of processes in the system. *)
+
+val rounds : t -> int
+(** Number of completed rounds. *)
+
+val append : t -> Pset.t array -> t
+(** [append h d] extends [h] with one round in which process [i] was given
+    the fault set [d.(i)].
+    @raise Invalid_argument if [Array.length d <> n h] or some [d.(i)]
+    contains an id [>= n h]. *)
+
+val d : t -> proc:Proc.t -> round:int -> Pset.t
+(** [d h ~proc:i ~round:r] is [D(i,r)].
+    @raise Invalid_argument if [r < 1], [r > rounds h], or [proc] is out of
+    range. *)
+
+val round_sets : t -> round:int -> Pset.t array
+(** All of round [r]'s fault sets, indexed by process. *)
+
+val round_union : t -> round:int -> Pset.t
+(** [round_union h ~round:r] is [⋃_i D(i,r)]. *)
+
+val round_inter : t -> round:int -> Pset.t
+(** [round_inter h ~round:r] is [⋂_i D(i,r)]. *)
+
+val cumulative_union : t -> Pset.t
+(** [cumulative_union h] is [⋃_{r>0} ⋃_i D(i,r)] over all completed rounds. *)
+
+val cumulative_union_upto : t -> round:int -> Pset.t
+(** Union restricted to rounds [1..round]. *)
+
+val fold_rounds : (int -> Pset.t array -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold_rounds f h init] folds [f] over rounds in increasing order; the
+    first argument of [f] is the round number. *)
+
+val of_rounds : n:int -> Pset.t array list -> t
+(** [of_rounds ~n l] builds a history from explicit per-round arrays, first
+    round first.  Same validity requirements as {!append}. *)
+
+val equal : t -> t -> bool
+(** Same process count and identical fault sets in every round. *)
+
+val to_string_compact : t -> string
+(** Compact machine-readable rendering: ["n=3;1:{1}{}{0,1};2:{}{}{}"] —
+    rounds separated by [;], one [{…}] per process with comma-separated
+    ids.  Inverse of {!of_string_compact}; used to persist counterexamples
+    from the enumeration experiments. *)
+
+val of_string_compact : string -> t
+(** Parse {!to_string_compact} output.
+    @raise Invalid_argument on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+type state = {
+  me : Proc.t;
+  input : int;
+  decision : int option;
+}
+
+let one_round ~inputs =
+  {
+    Algorithm.name = "kset-one-round";
+    init =
+      (fun ~n p ->
+        if Array.length inputs <> n then
+          invalid_arg "Kset.one_round: inputs length mismatch";
+        { me = p; input = inputs.(p); decision = None });
+    emit = (fun s ~round:_ -> s.input);
+    deliver =
+      (fun s ~round ~received ~faulty ->
+        if round > 1 || Option.is_some s.decision then s
+        else begin
+          (* Decide the value of the lowest-id process outside D(i,1).  The
+             engine guarantees D ≠ S, so a candidate exists; its message was
+             received unless it is this very process (own value is known
+             locally either way). *)
+          let n = Array.length received in
+          let candidates = Pset.diff (Pset.full n) faulty in
+          match Pset.min_elt candidates with
+          | None -> s
+          | Some j ->
+            let value =
+              match received.(j) with
+              | Some v -> v
+              | None -> if Proc.equal j s.me then s.input else assert false
+            in
+            { s with decision = Some value }
+        end);
+    decide = (fun s -> s.decision);
+  }
+
+let consensus ~inputs = { (one_round ~inputs) with Algorithm.name = "consensus-one-round" }

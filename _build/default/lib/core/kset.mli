@@ -1,0 +1,27 @@
+(** k-set agreement under the k-set RRFD (Section 3).
+
+    Theorem 3.1: with a detector guaranteeing
+    [∀r. |⋃_i D(i,r) − ⋂_i D(i,r)| < k], k-set agreement is solvable in
+    {e one} round: each process emits its value and decides the value of the
+    process with the lowest identifier among those it did not suspect.
+
+    The proof's counting argument: if values of [p_a < p_b] are both chosen,
+    then [p_a] is in the union of the fault sets (whoever chose [p_b]
+    suspected [p_a]) but not in the intersection (whoever chose [p_a] did
+    not), so at most [k − 1] processes can separate chosen values, bounding
+    distinct decisions by [k]. *)
+
+type state
+(** Per-process state of the one-round algorithm. *)
+
+val one_round : inputs:int array -> (state, int, int) Algorithm.t
+(** [one_round ~inputs] is the algorithm of Theorem 3.1.  Process [i] starts
+    with [inputs.(i)], emits it in round 1, and decides the value received
+    from the lowest-identifier unsuspected process.  Runs under a detector
+    satisfying [Predicate.k_set ~k]; the number of distinct decisions is then
+    at most [k] (checked by {!Tasks}-style checkers in the experiments). *)
+
+val consensus : inputs:int array -> (state, int, int) Algorithm.t
+(** Same algorithm; under [Predicate.k_set ~k:1] (or
+    {!Predicate.identical_views}) it solves consensus.  Exposed separately
+    for readability at call sites. *)

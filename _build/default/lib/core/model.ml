@@ -1,0 +1,91 @@
+type t = {
+  name : string;
+  description : string;
+  predicate : Predicate.t;
+  generator : Dsim.Rng.t -> Detector.t;
+}
+
+let sync_omission ~n ~f =
+  {
+    name = Printf.sprintf "sync-omission(n=%d,f=%d)" n f;
+    description = "synchronous message passing, ≤ f send-omission faults (item 1)";
+    predicate = Predicate.omission ~f;
+    generator = (fun rng -> Detector_gen.omission rng ~n ~f);
+  }
+
+let sync_crash ~n ~f =
+  {
+    name = Printf.sprintf "sync-crash(n=%d,f=%d)" n f;
+    description = "synchronous message passing, ≤ f crash faults (item 2)";
+    predicate = Predicate.crash ~f;
+    generator = (fun rng -> Detector_gen.crash rng ~n ~f);
+  }
+
+let async_message_passing ~n ~f =
+  {
+    name = Printf.sprintf "async-mp(n=%d,f=%d)" n f;
+    description = "asynchronous message passing, ≤ f crash failures (item 3)";
+    predicate = Predicate.async_resilient ~f;
+    generator = (fun rng -> Detector_gen.async rng ~n ~f);
+  }
+
+let async_mixed ~n ~f ~t =
+  {
+    name = Printf.sprintf "async-mixed(n=%d,f=%d,t=%d)" n f t;
+    description = "item 3's system B: t processes may miss up to t, the rest up to f";
+    predicate = Predicate.async_mixed ~f ~t;
+    generator = (fun rng -> Detector_gen.async_mixed rng ~n ~f ~t);
+  }
+
+let shared_memory ~n ~f =
+  {
+    name = Printf.sprintf "shm(n=%d,f=%d)" n f;
+    description = "asynchronous SWMR shared memory, ≤ f crash faults (item 4)";
+    predicate = Predicate.shared_memory ~f;
+    generator = (fun rng -> Detector_gen.shared_memory rng ~n ~f);
+  }
+
+let atomic_snapshot ~n ~f =
+  {
+    name = Printf.sprintf "snapshot(n=%d,f=%d)" n f;
+    description = "asynchronous atomic snapshot / IIS, ≤ f crash faults (item 5)";
+    predicate = Predicate.snapshot ~f;
+    generator = (fun rng -> Detector_gen.iis rng ~n ~f);
+  }
+
+let detector_s ~n =
+  {
+    name = Printf.sprintf "detector-S(n=%d)" n;
+    description = "asynchronous message passing with failure detector S (item 6)";
+    predicate = Predicate.detector_s;
+    generator = (fun rng -> Detector_gen.detector_s rng ~n);
+  }
+
+let k_set_detector ~n ~k =
+  {
+    name = Printf.sprintf "kset-detector(n=%d,k=%d)" n k;
+    description = "Section 3's detector: |∪D − ∩D| < k each round";
+    predicate = Predicate.k_set ~k;
+    generator = (fun rng -> Detector_gen.k_set rng ~n ~k);
+  }
+
+let identical_views ~n =
+  {
+    name = Printf.sprintf "identical-views(n=%d)" n;
+    description = "equation (5): all processes get the same fault set each round";
+    predicate = Predicate.identical_views;
+    generator = (fun rng -> Detector_gen.identical rng ~n);
+  }
+
+let all ~n ~f =
+  [
+    sync_omission ~n ~f;
+    sync_crash ~n ~f;
+    async_message_passing ~n ~f;
+    async_mixed ~n ~f ~t:f;
+    shared_memory ~n ~f;
+    atomic_snapshot ~n ~f;
+    detector_s ~n;
+    k_set_detector ~n ~k:(f + 1);
+    identical_views ~n;
+  ]

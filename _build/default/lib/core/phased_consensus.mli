@@ -1,0 +1,41 @@
+(** Consensus under an eventually-stable RRFD — the paper's Section-7
+    program ("we advocate using these models to develop real algorithms")
+    carried out.
+
+    The model mixes the paper's ingredients per round — different rounds of
+    one system may obey different clauses, which is itself an RRFD-style
+    definition.  Rounds come in phases of three:
+
+    - {b candidate round} (round 1 of each phase): fault sets are only
+      bounded ([|D| ≤ f]) — but from round [stabilize_at] on they are
+      {e identical} at all processes (equation (5), as the semi-synchronous
+      system provides after stabilisation);
+    - {b adopt-commit rounds} (rounds 2–3): the atomic-snapshot clauses
+      (self-inclusion + comparability), always.
+
+    The algorithm: each phase, pick the Theorem-3.1 candidate from the
+    candidate round, then run adopt-commit on it; commit ⇒ decide, adopt ⇒
+    carry the value into the next phase.  Adopt-commit (safe under the
+    snapshot clauses) makes an early commit sticky — every later estimate
+    equals it — and once candidate rounds turn identical every process
+    picks the same candidate, commits, and decides: agreement + validity
+    always, termination within one full phase after stabilisation. *)
+
+val predicate : f:int -> stabilize_at:int -> Predicate.t
+(** The per-round mixed predicate described above. *)
+
+val detector :
+  Dsim.Rng.t -> n:int -> f:int -> stabilize_at:int -> Detector.t
+(** A constructive adversary for {!predicate}: worst-case divergent
+    candidate rounds before stabilisation, IIS-style adopt-commit
+    rounds. *)
+
+type state
+
+type message
+
+val algorithm : inputs:int array -> (state, message, int) Algorithm.t
+
+val rounds_needed : stabilize_at:int -> int
+(** A horizon by which every process has decided under {!predicate}:
+    one full phase after stabilisation. *)

@@ -1,0 +1,267 @@
+type t = {
+  name : string;
+  doc : string;
+  explain : Fault_history.t -> string option;
+}
+
+let name p = p.name
+
+let doc p = p.doc
+
+let explain p h = p.explain h
+
+let holds p h = explain p h = None
+
+let make ~name ~doc explain = { name; doc; explain }
+
+let conj ?name:n2 a b =
+  let name = match n2 with Some n -> n | None -> a.name ^ " ∧ " ^ b.name in
+  {
+    name;
+    doc = a.doc ^ "; and " ^ b.doc;
+    explain =
+      (fun h ->
+        match a.explain h with Some e -> Some e | None -> b.explain h);
+  }
+
+let disj ?name:n2 a b =
+  let name = match n2 with Some n -> n | None -> a.name ^ " ∨ " ^ b.name in
+  {
+    name;
+    doc = a.doc ^ "; or " ^ b.doc;
+    explain =
+      (fun h ->
+        match a.explain h with
+        | None -> None
+        | Some e -> ( match b.explain h with None -> None | Some _ -> Some e));
+  }
+
+let always =
+  make ~name:"true" ~doc:"the unconstrained RRFD; every history is allowed"
+    (fun _ -> None)
+
+(* Find the earliest (round, proc) violating [bad]; report via [msg]. *)
+let first_violation h bad msg =
+  let n = Fault_history.n h in
+  let rec scan_round r =
+    if r > Fault_history.rounds h then None
+    else
+      let rec scan_proc i =
+        if i >= n then scan_round (r + 1)
+        else if bad h r i then Some (msg h r i)
+        else scan_proc (i + 1)
+      in
+      scan_proc 0
+  in
+  scan_round 1
+
+(* Per-round (not per-process) violations. *)
+let first_round_violation h bad msg =
+  let rec scan r =
+    if r > Fault_history.rounds h then None
+    else if bad h r then Some (msg h r)
+    else scan (r + 1)
+  in
+  scan 1
+
+let no_self_suspicion =
+  make ~name:"no-self-suspicion" ~doc:"∀i,r. p_i ∉ D(i,r)"
+    (fun h ->
+      first_violation h
+        (fun h r i -> Pset.mem i (Fault_history.d h ~proc:i ~round:r))
+        (fun _ r i -> Printf.sprintf "p%d suspects itself at round %d" i r))
+
+let bounded_cumulative_union ~bound ~strict =
+  let op = if strict then "<" else "≤" in
+  make
+    ~name:(Printf.sprintf "|∪∪D| %s %d" op bound)
+    ~doc:
+      (Printf.sprintf "|⋃_{r>0} ⋃_i D(i,r)| %s %d over all completed rounds" op
+         bound)
+    (fun h ->
+      let total = Pset.cardinal (Fault_history.cumulative_union h) in
+      let ok = if strict then total < bound else total <= bound in
+      if ok then None
+      else
+        Some
+          (Printf.sprintf "cumulative union has %d processes, want %s %d" total
+             op bound))
+
+let omission ~f =
+  conj
+    ~name:(Printf.sprintf "omission(f=%d)" f)
+    no_self_suspicion
+    (bounded_cumulative_union ~bound:f ~strict:false)
+
+let crash_closure =
+  make ~name:"crash-closure" ~doc:"∀r,k. ⋃_i D(i,r) ⊆ D(k,r+1)"
+    (fun h ->
+      let rounds = Fault_history.rounds h in
+      let rec scan r =
+        if r >= rounds then None
+        else
+          let union = Fault_history.round_union h ~round:r in
+          let n = Fault_history.n h in
+          let rec check k =
+            if k >= n then scan (r + 1)
+            else
+              let next = Fault_history.d h ~proc:k ~round:(r + 1) in
+              (* A process never suspects itself under crash faults, so the
+                 closure requirement exempts k's own id. *)
+              if Pset.subset (Pset.remove k union) next then check (k + 1)
+              else
+                Some
+                  (Printf.sprintf
+                     "round-%d union %s not contained in D(%d,%d)=%s" r
+                     (Pset.to_string union) k (r + 1) (Pset.to_string next))
+          in
+          check 0
+      in
+      scan 1)
+
+let crash ~f =
+  conj ~name:(Printf.sprintf "crash(f=%d)" f) (omission ~f) crash_closure
+
+let async_resilient ~f =
+  make
+    ~name:(Printf.sprintf "async(f=%d)" f)
+    ~doc:(Printf.sprintf "∀r,i. |D(i,r)| ≤ %d" f)
+    (fun h ->
+      first_violation h
+        (fun h r i -> Pset.cardinal (Fault_history.d h ~proc:i ~round:r) > f)
+        (fun h r i ->
+          Printf.sprintf "|D(%d,%d)| = %d > %d" i r
+            (Pset.cardinal (Fault_history.d h ~proc:i ~round:r))
+            f))
+
+let async_mixed ~f ~t =
+  make
+    ~name:(Printf.sprintf "async-mixed(f=%d,t=%d)" f t)
+    ~doc:
+      (Printf.sprintf
+         "∃Q, |Q| ≤ %d: processes outside Q miss ≤ %d, inside Q miss ≤ %d" t f
+         t)
+    (fun h ->
+      first_round_violation h
+        (fun h r ->
+          (* The minimal witness Q is exactly the processes missing more
+             than f; the predicate holds iff that set is small enough and
+             none of its members misses more than t. *)
+          let n = Fault_history.n h in
+          let over = ref [] in
+          for i = 0 to n - 1 do
+            let size = Pset.cardinal (Fault_history.d h ~proc:i ~round:r) in
+            if size > f then over := (i, size) :: !over
+          done;
+          List.length !over > t || List.exists (fun (_, s) -> s > t) !over)
+        (fun _ r -> Printf.sprintf "no witness Q exists at round %d" r))
+
+let someone_seen_by_all =
+  make ~name:"someone-seen-by-all" ~doc:"∀r. |⋃_i D(i,r)| < n"
+    (fun h ->
+      first_round_violation h
+        (fun h r ->
+          Pset.cardinal (Fault_history.round_union h ~round:r)
+          >= Fault_history.n h)
+        (fun _ r -> Printf.sprintf "round %d: every process is suspected by someone" r))
+
+let shared_memory ~f =
+  conj
+    ~name:(Printf.sprintf "shm(f=%d)" f)
+    (async_resilient ~f) someone_seen_by_all
+
+let antisymmetric_misses =
+  make ~name:"antisymmetric-misses" ~doc:"p_j ∈ D(i,r) ⇒ p_i ∉ D(j,r)"
+    (fun h ->
+      first_violation h
+        (fun h r i ->
+          let di = Fault_history.d h ~proc:i ~round:r in
+          Pset.exists
+            (fun j -> Pset.mem i (Fault_history.d h ~proc:j ~round:r))
+            di)
+        (fun h r i ->
+          let di = Fault_history.d h ~proc:i ~round:r in
+          let j =
+            Pset.to_list
+              (Pset.filter
+                 (fun j -> Pset.mem i (Fault_history.d h ~proc:j ~round:r))
+                 di)
+            |> List.hd
+          in
+          Printf.sprintf "round %d: p%d and p%d suspect each other" r i j))
+
+let shared_memory_alt ~f =
+  conj
+    ~name:(Printf.sprintf "shm-alt(f=%d)" f)
+    (shared_memory ~f) antisymmetric_misses
+
+let comparable_views =
+  make ~name:"comparable-views" ~doc:"∀r,i,j. D(i,r) ⊆ D(j,r) ∨ D(j,r) ⊆ D(i,r)"
+    (fun h ->
+      first_round_violation h
+        (fun h r ->
+          let n = Fault_history.n h in
+          let incomparable = ref false in
+          for i = 0 to n - 1 do
+            for j = i + 1 to n - 1 do
+              let di = Fault_history.d h ~proc:i ~round:r in
+              let dj = Fault_history.d h ~proc:j ~round:r in
+              if not (Pset.subset di dj || Pset.subset dj di) then
+                incomparable := true
+            done
+          done;
+          !incomparable)
+        (fun _ r -> Printf.sprintf "round %d has incomparable fault sets" r))
+
+let snapshot ~f =
+  conj
+    ~name:(Printf.sprintf "snapshot(f=%d)" f)
+    (conj (async_resilient ~f) no_self_suspicion)
+    comparable_views
+
+let detector_s =
+  make ~name:"detector-S" ~doc:"∃p_j. p_j ∉ ⋃_{r>0} ⋃_i D(i,r)"
+    (fun h ->
+      let total = Pset.cardinal (Fault_history.cumulative_union h) in
+      if total < Fault_history.n h then None
+      else Some "every process is eventually suspected by someone")
+
+let k_set ~k =
+  make
+    ~name:(Printf.sprintf "k-set(k=%d)" k)
+    ~doc:(Printf.sprintf "∀r. |⋃_i D(i,r) − ⋂_i D(i,r)| < %d" k)
+    (fun h ->
+      first_round_violation h
+        (fun h r ->
+          let union = Fault_history.round_union h ~round:r in
+          let inter = Fault_history.round_inter h ~round:r in
+          Pset.cardinal (Pset.diff union inter) >= k)
+        (fun h r ->
+          let union = Fault_history.round_union h ~round:r in
+          let inter = Fault_history.round_inter h ~round:r in
+          Printf.sprintf "round %d: |∪D − ∩D| = %d ≥ %d" r
+            (Pset.cardinal (Pset.diff union inter))
+            k))
+
+let identical_views =
+  make ~name:"identical-views" ~doc:"∀r,i,j. D(i,r) = D(j,r) (equation 5)"
+    (fun h ->
+      first_violation h
+        (fun h r i ->
+          i > 0
+          && not
+               (Pset.equal
+                  (Fault_history.d h ~proc:i ~round:r)
+                  (Fault_history.d h ~proc:0 ~round:r)))
+        (fun _ r i ->
+          Printf.sprintf "round %d: D(%d) differs from D(0)" r i))
+
+let not_all_faulty =
+  make ~name:"not-all-faulty" ~doc:"∀i,r. D(i,r) ≠ S"
+    (fun h ->
+      first_violation h
+        (fun h r i ->
+          Pset.equal
+            (Fault_history.d h ~proc:i ~round:r)
+            (Pset.full (Fault_history.n h)))
+        (fun _ r i -> Printf.sprintf "D(%d,%d) is the whole system" i r))

@@ -1,0 +1,23 @@
+(** Process identifiers.
+
+    Processes are numbered [0 .. n-1] within a system of [n] processes.  The
+    identifier order matters: several of the paper's algorithms (e.g. the
+    one-round k-set agreement of Theorem 3.1) break ties by the lowest
+    process identifier. *)
+
+type t = int
+(** A process identifier; always non-negative. *)
+
+val compare : t -> t -> int
+(** Standard total order on identifiers. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [p3]. *)
+
+val to_string : t -> string
+
+val all : int -> t list
+(** [all n] is [[0; 1; ...; n-1]].
+    @raise Invalid_argument if [n < 0]. *)

@@ -1,0 +1,135 @@
+type t = int
+
+let max_universe = 62
+
+let empty = 0
+
+let check_id p =
+  if p < 0 || p >= max_universe then
+    invalid_arg (Printf.sprintf "Pset: process id %d out of [0,%d)" p max_universe)
+
+let full n =
+  if n < 0 || n > max_universe then invalid_arg "Pset.full: size out of range";
+  if n = 0 then 0 else (1 lsl n) - 1
+
+let singleton p =
+  check_id p;
+  1 lsl p
+
+let add p s =
+  check_id p;
+  s lor (1 lsl p)
+
+let remove p s =
+  check_id p;
+  s land lnot (1 lsl p)
+
+let mem p s = p >= 0 && p < max_universe && s land (1 lsl p) <> 0
+
+let of_list l = List.fold_left (fun s p -> add p s) empty l
+
+let cardinal s =
+  let rec count s acc = if s = 0 then acc else count (s land (s - 1)) (acc + 1) in
+  count s 0
+
+let is_empty s = s = 0
+
+let union a b = a lor b
+
+let inter a b = a land b
+
+let diff a b = a land lnot b
+
+let subset a b = a land lnot b = 0
+
+let equal (a : int) b = a = b
+
+let compare = Int.compare
+
+let disjoint a b = a land b = 0
+
+let lowest_bit s = s land -s
+
+(* Index of the lowest set bit; undefined on 0 (guarded by callers). *)
+let lowest_index s =
+  let rec go bit i = if bit land 1 <> 0 then i else go (bit lsr 1) (i + 1) in
+  go (lowest_bit s) 0
+
+let iter f s =
+  let rec go s =
+    if s <> 0 then begin
+      let i = lowest_index s in
+      f i;
+      go (s land (s - 1))
+    end
+  in
+  go s
+
+let fold f s init =
+  let rec go s acc =
+    if s = 0 then acc
+    else
+      let i = lowest_index s in
+      go (s land (s - 1)) (f i acc)
+  in
+  go s init
+
+let to_list s = List.rev (fold (fun p acc -> p :: acc) s [])
+
+let for_all f s = fold (fun p acc -> acc && f p) s true
+
+let exists f s = fold (fun p acc -> acc || f p) s false
+
+let filter f s = fold (fun p acc -> if f p then add p acc else acc) s empty
+
+let min_elt s = if s = 0 then None else Some (lowest_index s)
+
+let max_elt s =
+  if s = 0 then None
+  else
+    let rec go s best = if s = 0 then best else go (s land (s - 1)) (lowest_index s) in
+    Some (go s 0)
+
+let choose_nth s i =
+  if i < 0 || i >= cardinal s then invalid_arg "Pset.choose_nth: index out of range";
+  let rec go s i =
+    let low = lowest_index s in
+    if i = 0 then low else go (s land (s - 1)) (i - 1)
+  in
+  go s i
+
+let random_subset rng s = filter (fun _ -> Dsim.Rng.bool rng) s
+
+let random_subset_of_size rng s k =
+  let size = cardinal s in
+  if k < 0 || k > size then invalid_arg "Pset.random_subset_of_size";
+  let indices = Dsim.Rng.sample_without_replacement rng k size in
+  List.fold_left (fun acc i -> add (choose_nth s i) acc) empty indices
+
+let subsets s =
+  let elements = to_list s in
+  List.fold_left
+    (fun acc p -> List.concat_map (fun sub -> [ sub; add p sub ]) acc)
+    [ empty ] elements
+
+let subsets_of_size s k =
+  let rec choose elements k =
+    if k = 0 then [ empty ]
+    else
+      match elements with
+      | [] -> []
+      | p :: rest ->
+        let with_p = List.map (add p) (choose rest (k - 1)) in
+        with_p @ choose rest k
+  in
+  choose (to_list s) k
+
+let pp ppf s =
+  let elements = to_list s in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Proc.pp)
+    elements
+
+let to_string s = Format.asprintf "%a" pp s

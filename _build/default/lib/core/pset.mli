@@ -1,0 +1,91 @@
+(** Immutable sets of process identifiers.
+
+    A set is a single-word bitset, so systems are limited to at most
+    {!max_universe} processes — ample for every experiment in the paper.  All
+    operations are O(1) or O(cardinality); sets compare structurally. *)
+
+type t
+(** An immutable set of process identifiers in [\[0, max_universe)]. *)
+
+val max_universe : int
+(** The largest supported number of processes (62). *)
+
+val empty : t
+
+val full : int -> t
+(** [full n] is [{0, ..., n-1}].
+    @raise Invalid_argument if [n < 0] or [n > max_universe]. *)
+
+val singleton : Proc.t -> t
+(** @raise Invalid_argument if the id is out of range. *)
+
+val of_list : Proc.t list -> t
+
+val to_list : t -> Proc.t list
+(** Elements in increasing order. *)
+
+val add : Proc.t -> t -> t
+
+val remove : Proc.t -> t -> t
+
+val mem : Proc.t -> t -> bool
+
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val subset : t -> t -> bool
+(** [subset a b] is true iff every element of [a] is in [b]. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val disjoint : t -> t -> bool
+
+val iter : (Proc.t -> unit) -> t -> unit
+(** Ascending order. *)
+
+val fold : (Proc.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Ascending order. *)
+
+val for_all : (Proc.t -> bool) -> t -> bool
+
+val exists : (Proc.t -> bool) -> t -> bool
+
+val filter : (Proc.t -> bool) -> t -> t
+
+val min_elt : t -> Proc.t option
+(** The least identifier in the set, if any. *)
+
+val max_elt : t -> Proc.t option
+
+val choose_nth : t -> int -> Proc.t
+(** [choose_nth s i] is the [i]-th smallest element.
+    @raise Invalid_argument if [i < 0] or [i >= cardinal s]. *)
+
+val random_subset : Dsim.Rng.t -> t -> t
+(** [random_subset rng s] keeps each element of [s] independently with
+    probability 1/2. *)
+
+val random_subset_of_size : Dsim.Rng.t -> t -> int -> t
+(** [random_subset_of_size rng s k] is a uniform k-element subset of [s].
+    @raise Invalid_argument if [k < 0] or [k > cardinal s]. *)
+
+val subsets : t -> t list
+(** All subsets of [s] (2^|s| of them), in an unspecified but deterministic
+    order.  Intended only for small sets in exhaustive enumerations. *)
+
+val subsets_of_size : t -> int -> t list
+(** All k-element subsets of [s]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{p0,p2,p5}]. *)
+
+val to_string : t -> string

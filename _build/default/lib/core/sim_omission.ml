@@ -1,0 +1,21 @@
+let budget ~f ~k =
+  if k <= 0 || f < k then invalid_arg "Sim_omission.budget: need f ≥ k > 0";
+  f / k
+
+type 'out result = {
+  outcome : 'out Engine.outcome;
+  omission_violation : string option;
+}
+
+let simulate ~n ~f ~k ~algorithm ~detector () =
+  let rounds = budget ~f ~k in
+  let outcome =
+    Engine.run ~n ~max_rounds:rounds ~check:(Predicate.snapshot ~f:k)
+      ~stop_when_decided:false ~algorithm ~detector ()
+  in
+  let omission_violation =
+    match outcome.Engine.violation with
+    | Some v -> Some ("asynchronous side broke its own predicate: " ^ v)
+    | None -> Predicate.explain (Predicate.omission ~f) outcome.Engine.history
+  in
+  { outcome; omission_violation }

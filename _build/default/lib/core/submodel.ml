@@ -1,0 +1,48 @@
+type verdict = Implies | Counterexample of Fault_history.t
+
+(* All per-round assignments: one proper subset of S per process. *)
+let all_round_assignments n =
+  let proper = List.filter (fun s -> not (Pset.equal s (Pset.full n))) (Pset.subsets (Pset.full n)) in
+  let rec build i =
+    if i = n then [ [] ]
+    else
+      let rest = build (i + 1) in
+      List.concat_map (fun s -> List.map (fun tail -> s :: tail) rest) proper
+  in
+  List.map Array.of_list (build 0)
+
+let check_exhaustive ~n ~rounds a b =
+  let assignments = all_round_assignments n in
+  let exception Found of Fault_history.t in
+  let rec explore history depth =
+    if Predicate.holds a history then begin
+      if not (Predicate.holds b history) then raise (Found history);
+      if depth < rounds then
+        List.iter
+          (fun d -> explore (Fault_history.append history d) (depth + 1))
+          assignments
+    end
+  in
+  match explore (Fault_history.empty ~n) 0 with
+  | () -> Implies
+  | exception Found h -> Counterexample h
+
+let check_sampled rng ~samples ~rounds ~gen ~n a b =
+  let exception Found of Fault_history.t in
+  try
+    for _ = 1 to samples do
+      let detector = gen (Dsim.Rng.split rng) in
+      let history = ref (Fault_history.empty ~n) in
+      for _ = 1 to rounds do
+        history := Fault_history.append !history (Detector.next detector !history)
+      done;
+      if Predicate.holds a !history && not (Predicate.holds b !history) then
+        raise (Found !history)
+    done;
+    Implies
+  with Found h -> Counterexample h
+
+let pp_verdict ppf = function
+  | Implies -> Format.pp_print_string ppf "implies"
+  | Counterexample h ->
+    Format.fprintf ppf "counterexample:@ %a" Fault_history.pp h

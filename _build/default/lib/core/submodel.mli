@@ -1,0 +1,36 @@
+(** The submodel relation between RRFD systems (Section 2).
+
+    [A] is a submodel of [B] iff [P_A ⇒ P_B]: every fault history allowed by
+    [A] is allowed by [B], so [A] trivially implements [B].  Implication is
+    checked two ways: exhaustively over every history of a small system
+    (sound and complete for that size) and by sampling histories from a
+    generator (a cheap refutation search at larger sizes). *)
+
+type verdict =
+  | Implies  (** No counterexample found in the searched space. *)
+  | Counterexample of Fault_history.t
+      (** A history satisfying the left predicate but not the right. *)
+
+val check_exhaustive : n:int -> rounds:int -> Predicate.t -> Predicate.t -> verdict
+(** [check_exhaustive ~n ~rounds a b] enumerates every fault history of at
+    most [rounds] rounds over [n] processes (every process's fault set
+    ranging over all proper subsets), pruning prefixes that already violate
+    [a], and reports the first history satisfying [a] but violating [b].
+    Exponential: intended for [n ≤ 3], [rounds ≤ 2]
+    ([((2^n − 1)^n)^rounds] histories). *)
+
+val check_sampled :
+  Dsim.Rng.t ->
+  samples:int ->
+  rounds:int ->
+  gen:(Dsim.Rng.t -> Detector.t) ->
+  n:int ->
+  Predicate.t ->
+  Predicate.t ->
+  verdict
+(** [check_sampled rng ~samples ~rounds ~gen ~n a b] draws [samples]
+    detectors from [gen], runs each for [rounds] rounds, discards histories
+    that do not satisfy [a] (a generator bug), and reports any that violate
+    [b]. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

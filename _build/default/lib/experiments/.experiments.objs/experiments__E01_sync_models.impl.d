@@ -1,0 +1,1 @@
+lib/experiments/e01_sync_models.ml: Dsim List Rrfd Syncnet Table Tasks

@@ -1,0 +1,1 @@
+lib/experiments/e02_async_mp.ml: Array Dsim List Msgnet Printf Rrfd Table Tasks

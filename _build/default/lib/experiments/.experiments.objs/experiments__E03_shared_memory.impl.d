@@ -1,0 +1,1 @@
+lib/experiments/e03_shared_memory.ml: Dsim List Rrfd Table

@@ -1,0 +1,1 @@
+lib/experiments/e04_snapshot_iis.ml: Dsim List Rrfd Shm Table

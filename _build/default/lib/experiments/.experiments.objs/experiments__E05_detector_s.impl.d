@@ -1,0 +1,1 @@
+lib/experiments/e05_detector_s.ml: Dsim List Rrfd Table

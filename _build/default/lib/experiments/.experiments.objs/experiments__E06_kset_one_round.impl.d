@@ -1,0 +1,1 @@
+lib/experiments/e06_kset_one_round.ml: Dsim List Rrfd Table Tasks

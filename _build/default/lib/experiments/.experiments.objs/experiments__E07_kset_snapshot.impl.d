@@ -1,0 +1,1 @@
+lib/experiments/e07_kset_snapshot.ml: Dsim List Rrfd Table Tasks

@@ -1,0 +1,1 @@
+lib/experiments/e08_kset_object.ml: Dsim List Rrfd Shm Table Tasks

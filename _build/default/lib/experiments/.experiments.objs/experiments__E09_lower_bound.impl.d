@@ -1,0 +1,1 @@
+lib/experiments/e09_lower_bound.ml: Adversary Array List Printf Rrfd Syncnet Table Tasks

@@ -1,0 +1,1 @@
+lib/experiments/e10_adopt_commit.ml: Array Dsim List Option Rrfd Shm Table Tasks

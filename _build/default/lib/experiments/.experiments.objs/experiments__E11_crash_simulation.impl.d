@@ -1,0 +1,1 @@
+lib/experiments/e11_crash_simulation.ml: Array Dsim List Rrfd Syncnet Table Tasks

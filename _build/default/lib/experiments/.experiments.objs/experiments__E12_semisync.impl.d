@@ -1,0 +1,1 @@
+lib/experiments/e12_semisync.ml: Array Dsim List Option Semisync Table Tasks

@@ -1,0 +1,1 @@
+lib/experiments/e13_lattice.ml: List Rrfd Table

@@ -1,0 +1,1 @@
+lib/experiments/e14_conjecture.ml: Adversary Dsim List Printf Rrfd Table

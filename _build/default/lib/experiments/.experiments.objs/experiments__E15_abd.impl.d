@@ -1,0 +1,1 @@
+lib/experiments/e15_abd.ml: Dsim List Msgnet Table

@@ -1,0 +1,1 @@
+lib/experiments/e16_classic_detector.ml: Array Dsim List Msgnet Option Rrfd Table Tasks

@@ -1,0 +1,1 @@
+lib/experiments/e17_early_deciding.ml: Adversary Array Dsim List Printf Rrfd Syncnet Table Tasks

@@ -1,0 +1,1 @@
+lib/experiments/e18_phased.ml: Array Dsim List Rrfd Table Tasks

@@ -1,0 +1,1 @@
+lib/experiments/e19_bg.ml: Dsim List Rrfd Syncnet Table Tasks

@@ -1,0 +1,1 @@
+lib/experiments/table.ml: Array Char List Printf String

@@ -1,0 +1,79 @@
+(* E12 — Theorem 5.1: consensus in 2 steps in the semi-synchronous model,
+   against a Θ(n)-step baseline — the answer to the DDS open problem. *)
+
+let run ?(seed = 12) ?(trials = 300) () =
+  let rng = Dsim.Rng.create seed in
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let consensus_bad = ref 0 and eq5_bad = ref 0 and steps_bad = ref 0 in
+      for _ = 1 to trials do
+        let trial_rng = Dsim.Rng.split rng in
+        let inputs = Tasks.Inputs.distinct n in
+        let crash_count = Dsim.Rng.int trial_rng n in
+        let crashes =
+          Dsim.Rng.sample_without_replacement trial_rng crash_count n
+          |> List.map (fun p -> (p, 1 + Dsim.Rng.int trial_rng 3))
+        in
+        let r =
+          Semisync.Two_step.run ~n ~inputs
+            ~schedule:(Semisync.Machine.Random (Dsim.Rng.split trial_rng))
+            ~crashes ()
+        in
+        let res = r.Semisync.Two_step.result in
+        if Semisync.Two_step.check_identical r <> None then incr eq5_bad;
+        if
+          Array.exists
+            (function Some s -> s <> 2 | None -> false)
+            res.Semisync.Machine.steps_to_decide
+        then incr steps_bad;
+        if
+          Tasks.Agreement.check
+            ~allow_undecided:res.Semisync.Machine.crashed ~k:1 ~inputs
+            res.Semisync.Machine.decisions
+          <> None
+        then incr consensus_bad
+      done;
+      (* failure-free baseline comparison *)
+      let inputs = Tasks.Inputs.distinct n in
+      let baseline =
+        Semisync.Ring_baseline.run ~n ~inputs
+          ~schedule:Semisync.Machine.Round_robin
+      in
+      let baseline_steps =
+        Array.fold_left
+          (fun acc s -> max acc (Option.value s ~default:0))
+          0 baseline.Semisync.Machine.steps_to_decide
+      in
+      rows :=
+        [
+          Table.cell_int n;
+          Table.cell_int trials;
+          Table.cell_int !consensus_bad;
+          Table.cell_int !eq5_bad;
+          Table.cell_int !steps_bad;
+          "2";
+          Table.cell_int baseline_steps;
+          Table.cell_float (float_of_int baseline_steps /. 2.0);
+          Table.cell_bool
+            (!consensus_bad = 0 && !eq5_bad = 0 && !steps_bad = 0
+           && baseline_steps >= n);
+        ]
+        :: !rows)
+    [ 2; 4; 8; 16; 32 ];
+  {
+    Table.id = "E12";
+    title = "2-step semi-synchronous consensus (Theorem 5.1)";
+    claim =
+      "Thm 5.1: the DDS model implements the equation-(5) RRFD in two \
+       steps per round, so consensus takes 2 steps — against Θ(n) for the \
+       phase-structured baseline (DDS's own algorithm ran in 2n steps)";
+    header =
+      [
+        "n"; "trials"; "cons-viol"; "eq5-viol"; "steps≠2"; "new-steps";
+        "baseline-steps"; "speedup"; "ok";
+      ];
+    rows = List.rev !rows;
+    notes =
+      [ "baseline-steps measured failure-free under round-robin speeds" ];
+  }

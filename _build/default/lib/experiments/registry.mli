@@ -1,0 +1,17 @@
+(** The experiment registry: every table the harness can regenerate. *)
+
+type entry = {
+  id : string;
+  title : string;
+  run : seed:int -> trials:int option -> Table.t;
+}
+
+val all : entry list
+(** E1 through E19, in order. *)
+
+val find : string -> entry option
+(** Look up by case-insensitive id ("e9" finds E9). *)
+
+val default_seed : int
+
+val run_all : ?seed:int -> unit -> Table.t list

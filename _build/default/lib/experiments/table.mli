@@ -1,0 +1,29 @@
+(** Result tables for the experiment harness.
+
+    Every experiment produces one table; the bench harness and the
+    [experiments] CLI render them identically, so EXPERIMENTS.md can quote
+    the output verbatim. *)
+
+type t = {
+  id : string;  (** "E6" *)
+  title : string;
+  claim : string;  (** The paper statement being reproduced. *)
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val cell_int : int -> string
+
+val cell_float : float -> string
+(** Two decimal places. *)
+
+val cell_bool : bool -> string
+(** "yes" / "NO". *)
+
+val print : t -> unit
+(** Render to stdout with aligned columns. *)
+
+val ok : t -> bool
+(** True iff no row cell equals ["NO"] — the quick health signal used by
+    the harness exit code. *)

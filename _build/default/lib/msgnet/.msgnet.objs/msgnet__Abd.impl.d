@@ -1,0 +1,1 @@
+lib/msgnet/abd.ml: Array Dsim Hashtbl List Network Option Printf Rrfd

@@ -1,0 +1,1 @@
+lib/msgnet/abd.mli: Dsim Rrfd

@@ -1,0 +1,1 @@
+lib/msgnet/ct_consensus.ml: Array Dsim Hashtbl Heartbeat List Network Option Rrfd

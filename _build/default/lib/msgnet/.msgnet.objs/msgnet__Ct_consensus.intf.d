@@ -1,0 +1,1 @@
+lib/msgnet/ct_consensus.mli: Rrfd

@@ -1,0 +1,1 @@
+lib/msgnet/heartbeat.ml: Array Dsim Rrfd

@@ -1,0 +1,1 @@
+lib/msgnet/heartbeat.mli: Dsim Rrfd

@@ -1,0 +1,1 @@
+lib/msgnet/network.ml: Dsim Rrfd

@@ -1,0 +1,1 @@
+lib/msgnet/round_layer.ml: Array Dsim Hashtbl List Network Option Rrfd

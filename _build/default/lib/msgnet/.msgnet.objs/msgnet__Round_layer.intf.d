@@ -1,0 +1,1 @@
+lib/msgnet/round_layer.mli: Rrfd

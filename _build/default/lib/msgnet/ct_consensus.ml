@@ -1,0 +1,180 @@
+module Pset = Rrfd.Pset
+
+type message =
+  | Heartbeat
+  | Estimate of { phase : int; est : int; ts : int }
+  | New_estimate of { phase : int; est : int }
+  | Ack of { phase : int }
+  | Nack of { phase : int }
+  | Decide of { value : int }
+
+type coordinator_state = {
+  mutable estimates : (int * int) list; (* (est, ts) received this phase *)
+  mutable proposed : bool;
+  mutable acks : int;
+  mutable nacks : int;
+  mutable proposal : int;
+}
+
+type process = {
+  mutable est : int;
+  mutable ts : int;
+  mutable phase : int;
+  mutable waiting : bool; (* sent estimate, awaiting coordinator or suspicion *)
+  mutable decided : int option;
+  mutable decided_at : float option;
+  coordinating : (int, coordinator_state) Hashtbl.t; (* phase -> state *)
+}
+
+type result = {
+  decisions : int option array;
+  decision_times : float option array;
+  phases_used : int;
+  false_suspicions : int;
+  messages_sent : int;
+  virtual_time : float;
+}
+
+let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?(max_phases = 64) ~n
+    ~f ~inputs () =
+  if 2 * f >= n then invalid_arg "Ct_consensus.run: need 2f < n";
+  if List.length crashes > f then
+    invalid_arg "Ct_consensus.run: more crashes than f";
+  if Array.length inputs <> n then
+    invalid_arg "Ct_consensus.run: inputs length mismatch";
+  let sim = Dsim.Sim.create ~seed () in
+  let procs =
+    Array.init n (fun i ->
+        {
+          est = inputs.(i);
+          ts = 0;
+          phase = 0;
+          waiting = false;
+          decided = None;
+          decided_at = None;
+          coordinating = Hashtbl.create 4;
+        })
+  in
+  let network = ref None in
+  let detector = ref None in
+  let net () = Option.get !network in
+  let fd () = Option.get !detector in
+  let majority = (n / 2) + 1 in
+  let coordinator_of phase = phase mod n in
+  let coord_state p phase =
+    let proc = procs.(p) in
+    match Hashtbl.find_opt proc.coordinating phase with
+    | Some s -> s
+    | None ->
+      let s =
+        { estimates = []; proposed = false; acks = 0; nacks = 0; proposal = 0 }
+      in
+      Hashtbl.replace proc.coordinating phase s;
+      s
+  in
+  let send ~from ~to_ msg = Network.send (net ()) ~from ~to_ msg in
+  let broadcast ~from msg = Network.broadcast (net ()) ~from msg in
+  let rec enter_phase i phase =
+    let proc = procs.(i) in
+    if proc.decided = None && phase <= max_phases then begin
+      proc.phase <- phase;
+      proc.waiting <- true;
+      send ~from:i ~to_:(coordinator_of phase)
+        (Estimate { phase; est = proc.est; ts = proc.ts })
+    end
+  and try_propose c phase =
+    let s = coord_state c phase in
+    if (not s.proposed) && List.length s.estimates >= majority then begin
+      let est, _ =
+        List.fold_left
+          (fun (be, bt) (e, t) -> if t > bt then (e, t) else (be, bt))
+          (List.hd s.estimates) (List.tl s.estimates)
+      in
+      s.proposed <- true;
+      s.proposal <- est;
+      broadcast ~from:c (New_estimate { phase; est })
+    end
+  and handle _sim ~to_ ~from msg =
+    let proc = procs.(to_) in
+    match msg with
+    | Heartbeat -> Heartbeat.beat (fd ()) ~at:to_ ~from
+    | Estimate { phase; est; ts } ->
+      let s = coord_state to_ phase in
+      s.estimates <- (est, ts) :: s.estimates;
+      try_propose to_ phase
+    | New_estimate { phase; est } ->
+      if proc.decided = None && proc.phase = phase && proc.waiting then begin
+        proc.est <- est;
+        proc.ts <- phase;
+        proc.waiting <- false;
+        send ~from:to_ ~to_:from (Ack { phase });
+        enter_phase to_ (phase + 1)
+      end
+      else if proc.decided = None && proc.phase > phase then
+        (* Already moved on: a late proposal must be nacked so the
+           coordinator can account for this process. *)
+        send ~from:to_ ~to_:from (Nack { phase })
+    | Ack { phase } ->
+      let s = coord_state to_ phase in
+      s.acks <- s.acks + 1;
+      if s.proposed && s.acks >= majority then
+        broadcast ~from:to_ (Decide { value = s.proposal })
+    | Nack { phase } ->
+      let s = coord_state to_ phase in
+      s.nacks <- s.nacks + 1
+    | Decide { value } ->
+      if proc.decided = None then begin
+        proc.decided <- Some value;
+        proc.decided_at <- Some (Dsim.Sim.now sim);
+        (* Reliable broadcast: relay once so every correct process decides
+           even if the original sender crashes mid-broadcast. *)
+        broadcast ~from:to_ (Decide { value })
+      end
+  in
+  network := Some (Network.create ~sim ~n ?min_delay ?max_delay ~deliver:handle ());
+  detector :=
+    Some
+      (Heartbeat.create ~sim ~n
+         ~send_heartbeat:(fun ~from -> Network.broadcast (net ()) ~from ~self:false Heartbeat)
+         ());
+  List.iter
+    (fun (p, time) ->
+      Dsim.Sim.schedule_at sim ~time (fun _ -> Network.crash (net ()) p))
+    crashes;
+  (* Suspicion polling: a waiting process that suspects its coordinator
+     nacks and moves to the next phase.  Polls stop at the same horizon as
+     the heartbeats, so the simulation always drains even when a process
+     (e.g. a crashed one) never decides. *)
+  let poll_interval = 3.0 in
+  let horizon = 1000.0 in
+  let rec poll i sim_ =
+    let proc = procs.(i) in
+    if proc.decided = None && proc.phase <= max_phases then begin
+      if proc.waiting then begin
+        let c = coordinator_of proc.phase in
+        if
+          (not (Rrfd.Proc.equal c i))
+          && Heartbeat.suspects (fd ()) ~observer:i ~target:c
+        then begin
+          proc.waiting <- false;
+          send ~from:i ~to_:c (Nack { phase = proc.phase });
+          enter_phase i (proc.phase + 1)
+        end
+      end;
+      if Dsim.Sim.now sim_ +. poll_interval <= horizon then
+        Dsim.Sim.schedule sim_ ~delay:poll_interval (poll i)
+    end
+  in
+  for i = 0 to n - 1 do
+    enter_phase i 0;
+    Dsim.Sim.schedule sim ~delay:poll_interval (poll i)
+  done;
+  Dsim.Sim.run sim;
+  {
+    decisions = Array.map (fun p -> p.decided) procs;
+    decision_times = Array.map (fun p -> p.decided_at) procs;
+    phases_used = Array.fold_left (fun acc p -> max acc p.phase) 0 procs;
+    false_suspicions = Heartbeat.false_suspicions (fd ());
+    messages_sent = Network.messages_sent (net ());
+    virtual_time = Dsim.Sim.now sim;
+  }

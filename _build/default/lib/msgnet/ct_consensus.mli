@@ -1,0 +1,41 @@
+(** Rotating-coordinator consensus with an unreliable failure detector.
+
+    The Chandra–Toueg ◇S algorithm, which the paper's Sections 6–7 hold up
+    as the "classic" detector-augmented approach that RRFDs reinterpret:
+    phases rotate through coordinators; in phase [r] every process sends
+    its timestamped estimate to coordinator [r mod n]; the coordinator
+    picks the estimate with the highest timestamp among a majority,
+    broadcasts it, and decides (by reliable broadcast) once a majority
+    acknowledges.  A process that suspects the coordinator (heartbeat
+    detector, {!Heartbeat}) sends a nack and moves on.  Requires a majority
+    of correct processes ([2f < n]).
+
+    Safety comes from majority intersection and timestamp locking;
+    termination from the detector's eventual accuracy, which the bounded-
+    delay network guarantees. *)
+
+type result = {
+  decisions : int option array;
+  decision_times : float option array;  (** Virtual decision times. *)
+  phases_used : int;  (** Highest phase any process entered. *)
+  false_suspicions : int;
+  messages_sent : int;
+  virtual_time : float;
+}
+
+val run :
+  ?seed:int ->
+  ?min_delay:float ->
+  ?max_delay:float ->
+  ?crashes:(Rrfd.Proc.t * float) list ->
+  ?max_phases:int ->
+  n:int ->
+  f:int ->
+  inputs:int array ->
+  unit ->
+  result
+(** [run ~n ~f ~inputs ()] executes one consensus instance.  [crashes]
+    lists processes with their crash times (at most [f], and [2f < n] must
+    hold).  [max_phases] (default 64) bounds the run; live processes are
+    expected to decide well before it.
+    @raise Invalid_argument on parameter violations. *)

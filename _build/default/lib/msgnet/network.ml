@@ -1,0 +1,51 @@
+module Pset = Rrfd.Pset
+
+type 'msg t = {
+  sim : Dsim.Sim.t;
+  n : int;
+  min_delay : float;
+  max_delay : float;
+  deliver : Dsim.Sim.t -> to_:Rrfd.Proc.t -> from:Rrfd.Proc.t -> 'msg -> unit;
+  mutable crashed : Pset.t;
+  mutable sent : int;
+  mutable delivered : int;
+}
+
+let create ~sim ~n ?(min_delay = 1.0) ?(max_delay = 10.0) ~deliver () =
+  if n < 1 || n > Pset.max_universe then invalid_arg "Network.create: bad n";
+  if min_delay < 0.0 || max_delay < min_delay then
+    invalid_arg "Network.create: bad delay bounds";
+  { sim; n; min_delay; max_delay; deliver; crashed = Pset.empty; sent = 0; delivered = 0 }
+
+let n t = t.n
+
+let pick_delay t =
+  t.min_delay +. Dsim.Rng.float (Dsim.Sim.rng t.sim) (t.max_delay -. t.min_delay)
+
+let send t ~from ~to_ ?delay msg =
+  if to_ < 0 || to_ >= t.n || from < 0 || from >= t.n then
+    invalid_arg "Network.send: process out of range";
+  if not (Pset.mem from t.crashed) then begin
+    let delay = match delay with Some d -> d | None -> pick_delay t in
+    t.sent <- t.sent + 1;
+    Dsim.Sim.schedule t.sim ~delay (fun sim ->
+        if not (Pset.mem to_ t.crashed) then begin
+          t.delivered <- t.delivered + 1;
+          t.deliver sim ~to_ ~from msg
+        end)
+  end
+
+let broadcast t ~from ?(self = true) msg =
+  for to_ = 0 to t.n - 1 do
+    if self || not (Rrfd.Proc.equal to_ from) then send t ~from ~to_ msg
+  done
+
+let crash t p =
+  if p < 0 || p >= t.n then invalid_arg "Network.crash: process out of range";
+  t.crashed <- Pset.add p t.crashed
+
+let crashed t = t.crashed
+
+let messages_sent t = t.sent
+
+let messages_delivered t = t.delivered

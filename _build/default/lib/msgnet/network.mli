@@ -1,0 +1,42 @@
+(** Asynchronous point-to-point network on the discrete-event simulator.
+
+    Messages are delivered after adversarially chosen finite delays (drawn
+    from the simulator's random stream within configurable bounds, or
+    overridden per send).  Processes can crash: a crashed process sends
+    nothing further, and messages already in flight {e from} it are still
+    delivered — the standard asynchronous crash model.  Delivery is not
+    FIFO unless the delay bounds make it so. *)
+
+type 'msg t
+(** A network carrying messages of type ['msg] between [n] processes. *)
+
+val create :
+  sim:Dsim.Sim.t ->
+  n:int ->
+  ?min_delay:float ->
+  ?max_delay:float ->
+  deliver:(Dsim.Sim.t -> to_:Rrfd.Proc.t -> from:Rrfd.Proc.t -> 'msg -> unit) ->
+  unit ->
+  'msg t
+(** [create ~sim ~n ~deliver ()] builds a network whose per-message delays
+    are uniform in [\[min_delay, max_delay\]] (defaults 1.0 and 10.0);
+    [deliver] is invoked at the receiver's delivery time.  Messages to
+    crashed processes are silently dropped. *)
+
+val n : _ t -> int
+
+val send : 'msg t -> from:Rrfd.Proc.t -> to_:Rrfd.Proc.t -> ?delay:float -> 'msg -> unit
+(** Queue one message.  No-op if the sender has crashed. *)
+
+val broadcast : 'msg t -> from:Rrfd.Proc.t -> ?self:bool -> 'msg -> unit
+(** Send to every process, including the sender itself when [self] (default
+    true); each copy gets an independent delay. *)
+
+val crash : 'msg t -> Rrfd.Proc.t -> unit
+(** Crash a process: it sends nothing from now on and receives nothing. *)
+
+val crashed : 'msg t -> Rrfd.Pset.t
+
+val messages_sent : _ t -> int
+
+val messages_delivered : _ t -> int

@@ -1,0 +1,116 @@
+module Pset = Rrfd.Pset
+
+type 'out result = {
+  decisions : 'out option array;
+  induced : Rrfd.Fault_history.t;
+  completed : int array;
+  crashed : Rrfd.Pset.t;
+  messages_sent : int;
+  virtual_time : float;
+}
+
+type ('s, 'm) proc = {
+  mutable state : 's;
+  mutable current_round : int; (* round currently being collected *)
+  buffers : (int, 'm option array) Hashtbl.t;
+  mutable fault_sets : Pset.t list; (* D(i, r) for completed rounds, newest first *)
+  mutable done_ : bool;
+}
+
+let buffer_for proc ~n round =
+  match Hashtbl.find_opt proc.buffers round with
+  | Some b -> b
+  | None ->
+    let b = Array.make n None in
+    Hashtbl.replace proc.buffers round b;
+    b
+
+let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ~n ~f ~rounds
+    ~algorithm () =
+  if f < 0 || f >= n then invalid_arg "Round_layer.run: need 0 ≤ f < n";
+  if List.length crashes > f then
+    invalid_arg "Round_layer.run: more crashes than the resilience bound";
+  let open Rrfd.Algorithm in
+  let sim = Dsim.Sim.create ~seed () in
+  let procs =
+    Array.init n (fun i ->
+        {
+          state = algorithm.init ~n i;
+          current_round = 1;
+          buffers = Hashtbl.create 16;
+          fault_sets = [];
+          done_ = false;
+        })
+  in
+  let network = ref None in
+  let net () = Option.get !network in
+  let emit_round i round =
+    let msg = algorithm.emit procs.(i).state ~round in
+    Network.broadcast (net ()) ~from:i (round, msg)
+  in
+  (* Complete as many consecutive rounds as the buffers allow. *)
+  let rec try_complete i =
+    let proc = procs.(i) in
+    if not proc.done_ then begin
+      let round = proc.current_round in
+      let buffer = buffer_for proc ~n round in
+      let received_count =
+        Array.fold_left (fun c m -> if Option.is_some m then c + 1 else c) 0 buffer
+      in
+      if received_count >= n - f then begin
+        let faulty =
+          Pset.filter (fun j -> Option.is_none buffer.(j)) (Pset.full n)
+        in
+        proc.state <-
+          algorithm.deliver proc.state ~round ~received:(Array.copy buffer)
+            ~faulty;
+        proc.fault_sets <- faulty :: proc.fault_sets;
+        Hashtbl.remove proc.buffers round;
+        proc.current_round <- round + 1;
+        if round + 1 > rounds then proc.done_ <- true
+        else begin
+          emit_round i (round + 1);
+          try_complete i
+        end
+      end
+    end
+  in
+  let deliver _sim ~to_ ~from (round, msg) =
+    let proc = procs.(to_) in
+    if (not proc.done_) && round >= proc.current_round then begin
+      let buffer = buffer_for proc ~n round in
+      (* Duplicate-free by construction: one message per (sender, round). *)
+      buffer.(from) <- Some msg;
+      if round = proc.current_round then try_complete to_
+    end
+  in
+  network := Some (Network.create ~sim ~n ?min_delay ?max_delay ~deliver ());
+  List.iter
+    (fun (p, time) ->
+      Dsim.Sim.schedule_at sim ~time (fun _ -> Network.crash (net ()) p))
+    crashes;
+  for i = 0 to n - 1 do
+    emit_round i 1
+  done;
+  Dsim.Sim.run sim;
+  let completed = Array.map (fun p -> List.length p.fault_sets) procs in
+  let max_completed = Array.fold_left max 0 completed in
+  let per_proc =
+    Array.map (fun p -> Array.of_list (List.rev p.fault_sets)) procs
+  in
+  let induced =
+    Rrfd.Fault_history.of_rounds ~n
+      (List.init max_completed (fun r ->
+           Array.init n (fun i ->
+               if r < Array.length per_proc.(i) then per_proc.(i).(r)
+               else Pset.empty)))
+  in
+  let decisions = Array.map (fun p -> algorithm.decide p.state) procs in
+  {
+    decisions;
+    induced;
+    completed;
+    crashed = Network.crashed (net ());
+    messages_sent = Network.messages_sent (net ());
+    virtual_time = Dsim.Sim.now sim;
+  }

@@ -1,0 +1,40 @@
+(** The item-3 construction: asynchronous message passing implements the
+    f-resilient RRFD.
+
+    Each process simulates rounds on top of the raw network by tagging
+    messages with round numbers, buffering messages that arrive early,
+    discarding messages that arrive late, and completing round [r] as soon
+    as it holds at least [n − f] round-[r] messages.  The fault set
+    [D(i,r)] is the set of senders whose round-[r] message had not arrived
+    at completion time — by construction [|D(i,r)| ≤ f], which is exactly
+    predicate (3).  The experiments re-check that the induced history
+    satisfies it. *)
+
+type 'out result = {
+  decisions : 'out option array;
+  induced : Rrfd.Fault_history.t;
+      (** Derived fault history over the requested number of rounds.  Slots
+          of rounds a (crashed) process never completed hold the empty set;
+          [completed] says how far each process got. *)
+  completed : int array;  (** Rounds completed by each process. *)
+  crashed : Rrfd.Pset.t;
+  messages_sent : int;
+  virtual_time : float;  (** Simulated time at which the run drained. *)
+}
+
+val run :
+  ?seed:int ->
+  ?min_delay:float ->
+  ?max_delay:float ->
+  ?crashes:(Rrfd.Proc.t * float) list ->
+  n:int ->
+  f:int ->
+  rounds:int ->
+  algorithm:('s, 'm, 'out) Rrfd.Algorithm.t ->
+  unit ->
+  'out result
+(** [run ~n ~f ~rounds ~algorithm ()] executes [algorithm] for [rounds]
+    simulated rounds over the asynchronous network.  [crashes] lists
+    processes and the virtual times at which they crash (at most [f] of
+    them, or the waiting rule could block the survivors).
+    @raise Invalid_argument if more than [f] crashes are requested. *)

@@ -1,0 +1,1 @@
+lib/semisync/machine.ml: Array Dsim List Option Rrfd

@@ -1,0 +1,1 @@
+lib/semisync/machine.mli: Dsim Rrfd

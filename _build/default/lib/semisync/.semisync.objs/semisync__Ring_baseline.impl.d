@@ -1,0 +1,1 @@
+lib/semisync/ring_baseline.ml: Array List Machine Option Rrfd

@@ -1,0 +1,1 @@
+lib/semisync/ring_baseline.mli: Machine

@@ -1,0 +1,1 @@
+lib/semisync/two_step.ml: Array List Machine Option Printf Rrfd

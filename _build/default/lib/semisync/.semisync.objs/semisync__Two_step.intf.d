@@ -1,0 +1,1 @@
+lib/semisync/two_step.mli: Machine Rrfd

@@ -1,0 +1,103 @@
+module Pset = Rrfd.Pset
+
+type schedule =
+  | Round_robin
+  | Random of Dsim.Rng.t
+  | Fixed_then_round_robin of int list
+
+type ('s, 'm) program = {
+  name : string;
+  init : n:int -> Rrfd.Proc.t -> 's;
+  step : 's -> inbox:(Rrfd.Proc.t * 'm) list -> 's * 'm option;
+  decide : 's -> int option;
+}
+
+type result = {
+  decisions : int option array;
+  steps_to_decide : int option array;
+  total_steps : int;
+  crashed : Rrfd.Pset.t;
+}
+
+let run ~n ~schedule ?(max_steps_per_process = 64) ?(crashes = []) program =
+  if n < 1 || n > Pset.max_universe then invalid_arg "Machine.run: bad n";
+  let states = Array.init n (fun i -> program.init ~n i) in
+  let inboxes = Array.make n [] in
+  (* newest first; reversed on receipt *)
+  let steps = Array.make n 0 in
+  let decisions = Array.make n None in
+  let steps_to_decide = Array.make n None in
+  let crash_at = Array.make n max_int in
+  List.iter
+    (fun (p, s) ->
+      if p < 0 || p >= n then invalid_arg "Machine.run: crash proc out of range";
+      if s < 1 then invalid_arg "Machine.run: crash step must be ≥ 1";
+      crash_at.(p) <- s)
+    crashes;
+  let crashed p = steps.(p) + 1 >= crash_at.(p) in
+  let live_undone p =
+    (not (crashed p))
+    && steps.(p) < max_steps_per_process
+    && Option.is_none decisions.(p)
+  in
+  let total = ref 0 in
+  let execute p =
+    let inbox = List.rev inboxes.(p) in
+    inboxes.(p) <- [];
+    let state, broadcast = program.step states.(p) ~inbox in
+    states.(p) <- state;
+    steps.(p) <- steps.(p) + 1;
+    incr total;
+    (match broadcast with
+    | None -> ()
+    | Some m ->
+      for q = 0 to n - 1 do
+        inboxes.(q) <- (p, m) :: inboxes.(q)
+      done);
+    if Option.is_none decisions.(p) then begin
+      match program.decide states.(p) with
+      | None -> ()
+      | Some v ->
+        decisions.(p) <- Some v;
+        steps_to_decide.(p) <- Some steps.(p)
+    end
+  in
+  let runnable () =
+    let ready = ref [] in
+    for p = n - 1 downto 0 do
+      if live_undone p then ready := p :: !ready
+    done;
+    !ready
+  in
+  let rec drive ~rr_next ~script =
+    match runnable () with
+    | [] -> ()
+    | ready ->
+      let pick_rr () =
+        let rec find i =
+          let candidate = (rr_next + i) mod n in
+          if List.mem candidate ready then candidate else find (i + 1)
+        in
+        find 0
+      in
+      let p, script =
+        match (schedule, script) with
+        | Round_robin, _ -> (pick_rr (), script)
+        | Random rng, _ -> (Dsim.Rng.choose rng ready, script)
+        | Fixed_then_round_robin _, q :: rest when List.mem q ready -> (q, rest)
+        | Fixed_then_round_robin _, _ :: rest -> (pick_rr (), rest)
+        | Fixed_then_round_robin _, [] -> (pick_rr (), [])
+      in
+      execute p;
+      drive ~rr_next:((p + 1) mod n) ~script
+  in
+  let script =
+    match schedule with
+    | Fixed_then_round_robin s -> s
+    | Round_robin | Random _ -> []
+  in
+  drive ~rr_next:0 ~script;
+  let crashed_set =
+    Pset.filter (fun p -> crash_at.(p) <> max_int) (Pset.full n)
+  in
+  { decisions; steps_to_decide; total_steps = !total; crashed = crashed_set }

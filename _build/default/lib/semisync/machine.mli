@@ -1,0 +1,51 @@
+(** The Dolev–Dwork–Stockmeyer semi-synchronous model of Section 5.
+
+    Properties (paper, Sec. 5): processes are fully asynchronous (no bound
+    on relative speeds); they fail by crashing; a step atomically receives
+    every message buffered since the process's last step and then broadcasts
+    at most one message; broadcast is reliable; and communication is fast
+    relative to steps — every message sent is delivered before any process
+    takes its next step.
+
+    Operationally: an adversarial scheduler picks which process takes the
+    next atomic step; a broadcast instantly enters every process's buffer.
+    Any fair interleaving is a legal run, so quantifying over schedules
+    quantifies over speed assignments. *)
+
+(** Scheduler strategies.  All are fair to non-crashed processes. *)
+type schedule =
+  | Round_robin
+  | Random of Dsim.Rng.t
+  | Fixed_then_round_robin of int list
+      (** Pin an exact prefix of the interleaving, then round-robin. *)
+
+type ('s, 'm) program = {
+  name : string;
+  init : n:int -> Rrfd.Proc.t -> 's;
+  step : 's -> inbox:(Rrfd.Proc.t * 'm) list -> 's * 'm option;
+      (** One atomic step: consume the buffered messages (oldest first),
+          optionally broadcast.  Must be a pure state transition. *)
+  decide : 's -> int option;
+}
+
+type result = {
+  decisions : int option array;
+  steps_to_decide : int option array;
+      (** Process's own step count at its first decision — the paper's
+          complexity measure (2 for the Sec. 5 algorithm, Θ(n) for the
+          baseline). *)
+  total_steps : int;
+  crashed : Rrfd.Pset.t;
+}
+
+val run :
+  n:int ->
+  schedule:schedule ->
+  ?max_steps_per_process:int ->
+  ?crashes:(Rrfd.Proc.t * int) list ->
+  ('s, 'm) program ->
+  result
+(** [run ~n ~schedule program] interleaves atomic steps until every live
+    process has decided or has taken [max_steps_per_process] (default 64)
+    steps.  [crashes] lists [(p, s)]: process [p] stops before taking its
+    [s]-th step (1-based, so [s = 1] means it never steps). *)

@@ -1,0 +1,63 @@
+type msg = { hop : int; value : int }
+
+type state = {
+  me : Rrfd.Proc.t;
+  n : int;
+  input : int;
+  steps : int; (* own steps taken *)
+  best_hop : int; (* highest hop seen; -1 initially *)
+  carried : int option; (* the relayed value *)
+  sent : bool;
+  decision : int option;
+}
+
+let program ~inputs =
+  {
+    Machine.name = "ring-baseline";
+    init =
+      (fun ~n p ->
+        if Array.length inputs <> n then
+          invalid_arg "Ring_baseline: inputs length mismatch";
+        {
+          me = p;
+          n;
+          input = inputs.(p);
+          steps = 0;
+          best_hop = -1;
+          carried = None;
+          sent = false;
+          decision = None;
+        });
+    step =
+      (fun s ~inbox ->
+        let s = { s with steps = s.steps + 1 } in
+        let s =
+          List.fold_left
+            (fun s (_sender, m) ->
+              if m.hop > s.best_hop then
+                { s with best_hop = m.hop; carried = Some m.value }
+              else s)
+            s inbox
+        in
+        let decision =
+          if s.best_hop >= s.n - 1 then s.carried else s.decision
+        in
+        let s = { s with decision } in
+        (* Phase structure: p_j relays no earlier than its (j+1)-th own
+           step, so every relay costs the relayer Θ(j) of its own steps —
+           the shape of the 2n-step DDS algorithm. *)
+        let should_send =
+          (not s.sent)
+          && s.steps > s.me
+          && ((s.me = 0 && s.best_hop < 0)
+             || (s.me > 0 && s.best_hop >= s.me - 1))
+        in
+        if should_send then
+          let value = if s.me = 0 then s.input else Option.get s.carried in
+          ({ s with sent = true }, Some { hop = s.me; value })
+        else (s, None));
+    decide = (fun s -> s.decision);
+  }
+
+let run ~n ~inputs ~schedule =
+  Machine.run ~n ~schedule ~max_steps_per_process:(4 * n) (program ~inputs)

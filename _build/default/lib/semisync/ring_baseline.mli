@@ -1,0 +1,15 @@
+(** A Θ(n)-step baseline for semi-synchronous consensus.
+
+    Stand-in for the 2n-step algorithm that Dolev–Dwork–Stockmeyer gave and
+    whose round complexity the paper's Section 5 improves to 2 steps: the
+    value of [p_0] is relayed around the identifier ring — [p_j] broadcasts
+    hop [j] after seeing hop [j − 1], and no earlier than its own
+    [(j + 1)]-th step, mirroring the phase structure of the original
+    algorithm — and a process decides when it sees hop [n − 1].  Under
+    uniform speeds every process takes Θ(n) of its own steps before
+    deciding.  Failure-free runs only; the comparison of interest is the
+    step count's growth with [n] against the flat 2 of {!Two_step}. *)
+
+val run :
+  n:int -> inputs:int array -> schedule:Machine.schedule -> Machine.result
+(** Run the ring relay.  All processes decide [inputs.(0)]. *)

@@ -1,0 +1,114 @@
+module Pset = Rrfd.Pset
+
+type msg = { round : int; value : int }
+
+type state = {
+  me : Rrfd.Proc.t;
+  n : int;
+  input : int;
+  round : int;
+  half : int; (* 0 = about to take the round's first step, 1 = its second *)
+  received : (int * (Rrfd.Proc.t * int)) list; (* (round, (sender, value)) *)
+  completed : Pset.t list; (* D(me, r), newest first *)
+  decision : int option;
+  max_rounds : int;
+}
+
+type report = {
+  result : Machine.result;
+  d_sets : Rrfd.Pset.t list array;
+}
+
+let senders_for_round s r =
+  List.filter_map
+    (fun (round, (sender, _)) -> if round = r then Some sender else None)
+    s.received
+  |> Pset.of_list
+
+let value_from s r sender =
+  List.find_map
+    (fun (round, (q, v)) -> if round = r && q = sender then Some v else None)
+    s.received
+
+let finish_round s =
+  let heard = senders_for_round s s.round in
+  let d = Pset.diff (Pset.full s.n) heard in
+  let completed = d :: s.completed in
+  let decision =
+    if s.round >= s.max_rounds && Option.is_none s.decision then
+      (* Theorem 3.1 with k = 1 on round 1: the lowest-id unsuspected
+         process; its message was necessarily received. *)
+      let round1_d = List.nth completed (List.length completed - 1) in
+      match Pset.min_elt (Pset.diff (Pset.full s.n) round1_d) with
+      | Some winner -> value_from s 1 winner
+      | None -> None
+    else s.decision
+  in
+  { s with completed; decision; round = s.round + 1; half = 0 }
+
+let program ~inputs ~max_rounds ~log =
+  {
+    Machine.name = "two-step-rrfd";
+    init =
+      (fun ~n p ->
+        if Array.length inputs <> n then
+          invalid_arg "Two_step: inputs length mismatch";
+        {
+          me = p;
+          n;
+          input = inputs.(p);
+          round = 1;
+          half = 0;
+          received = [];
+          completed = [];
+          decision = None;
+          max_rounds;
+        });
+    step =
+      (fun s ~inbox ->
+        let received =
+          List.fold_left
+            (fun acc (sender, (m : msg)) -> (m.round, (sender, m.value)) :: acc)
+            s.received inbox
+        in
+        let s = { s with received } in
+        if s.half = 0 then begin
+          let heard_current = not (Pset.is_empty (senders_for_round s s.round)) in
+          let s = { s with half = 1 } in
+          if heard_current || s.round > s.max_rounds then (s, None)
+          else (s, Some { round = s.round; value = s.input })
+        end
+        else begin
+          let s = finish_round s in
+          log s.me (List.rev s.completed);
+          (s, None)
+        end);
+    decide = (fun s -> s.decision);
+  }
+
+let run ~n ~inputs ?(rounds = 1) ~schedule ?(crashes = []) () =
+  let d_sets = Array.make n [] in
+  let log p completed = d_sets.(p) <- completed in
+  let program = program ~inputs ~max_rounds:rounds ~log in
+  let result =
+    Machine.run ~n ~schedule ~max_steps_per_process:(4 * (rounds + 1)) ~crashes
+      program
+  in
+  { result; d_sets }
+
+let check_identical report =
+  let n = Array.length report.d_sets in
+  let rec round_ok r =
+    let views =
+      Array.to_list report.d_sets
+      |> List.filter_map (fun l -> List.nth_opt l (r - 1))
+    in
+    match views with
+    | [] -> None
+    | first :: rest ->
+      if List.for_all (Pset.equal first) rest then round_ok (r + 1)
+      else
+        Some
+          (Printf.sprintf "round %d: processes computed different fault sets" r)
+  in
+  if n = 0 then None else round_ok 1

@@ -1,0 +1,37 @@
+(** Theorem 5.1: the semi-synchronous model implements the equation-(5)
+    RRFD in two steps per round — hence two-step consensus.
+
+    A process's execution proceeds in blocks of two steps per simulated
+    round.  First step of round [r]: if a round-[r] message was already
+    received, stay silent for the round (act as having omitted the
+    broadcast); otherwise broadcast the round-[r] message.  Second step:
+    keep receiving.  At the end of the block, [D(i,r)] is the set of
+    processes whose round-[r] message was not received.  The first
+    receive/send works as an atomic read-modify-write, so every process
+    computes the {e same} [D(·,r)] (equation 5) — under which the one-round
+    algorithm of Theorem 3.1 with [k = 1] decides: consensus in 2 steps,
+    answering the open problem of Dolev–Dwork–Stockmeyer. *)
+
+type report = {
+  result : Machine.result;
+  d_sets : Rrfd.Pset.t list array;
+      (** Per process, the fault sets of its completed rounds (round 1
+          first).  Crashed processes may have completed fewer rounds. *)
+}
+
+val run :
+  n:int ->
+  inputs:int array ->
+  ?rounds:int ->
+  schedule:Machine.schedule ->
+  ?crashes:(Rrfd.Proc.t * int) list ->
+  unit ->
+  report
+(** [run ~n ~inputs ~schedule ()] executes the protocol.  Every process
+    decides at the end of round [rounds] (default 1) on the Theorem-3.1
+    value from round 1 — the value of the lowest-identifier process outside
+    [D(i,1)] — so each decision takes exactly [2 * rounds] steps. *)
+
+val check_identical : report -> string option
+(** Verifies equation (5) on the run: for every round, all processes that
+    completed it computed the same fault set.  [None] when it holds. *)

@@ -1,0 +1,1 @@
+lib/shm/adopt_commit_shm.mli: Exec Rrfd

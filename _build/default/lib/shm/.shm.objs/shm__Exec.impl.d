@@ -1,0 +1,1 @@
+lib/shm/exec.ml: Array Dsim Effect List Option Printf

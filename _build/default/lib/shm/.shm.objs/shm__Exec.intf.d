@@ -1,0 +1,1 @@
+lib/shm/exec.mli: Dsim

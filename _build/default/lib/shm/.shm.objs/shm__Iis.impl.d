@@ -1,0 +1,1 @@
+lib/shm/iis.ml: Dsim Exec Immediate_snapshot Printf Rrfd

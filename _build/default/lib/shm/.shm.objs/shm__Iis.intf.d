@@ -1,0 +1,1 @@
+lib/shm/iis.mli: Dsim Rrfd

@@ -1,0 +1,1 @@
+lib/shm/immediate_snapshot.ml: Array Printf Rrfd Snapshot

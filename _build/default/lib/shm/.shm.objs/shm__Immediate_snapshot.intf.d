@@ -1,0 +1,1 @@
+lib/shm/immediate_snapshot.mli: Exec Rrfd

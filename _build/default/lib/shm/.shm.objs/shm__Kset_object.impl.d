@@ -1,0 +1,1 @@
+lib/shm/kset_object.ml: Dsim List

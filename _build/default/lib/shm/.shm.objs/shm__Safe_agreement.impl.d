@@ -1,0 +1,1 @@
+lib/shm/safe_agreement.ml: Array Option Snapshot

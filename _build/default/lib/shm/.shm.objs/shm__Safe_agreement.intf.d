@@ -1,0 +1,1 @@
+lib/shm/safe_agreement.mli: Exec

@@ -1,0 +1,1 @@
+lib/shm/snapshot.ml: Array Exec Fun Option

@@ -1,0 +1,1 @@
+lib/shm/snapshot.mli: Exec

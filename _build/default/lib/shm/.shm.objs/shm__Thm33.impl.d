@@ -1,0 +1,1 @@
+lib/shm/thm33.ml: Array Dsim Exec Kset_object Printf Rrfd

@@ -1,0 +1,1 @@
+lib/shm/thm33.mli: Dsim Exec Rrfd

@@ -1,0 +1,40 @@
+module Ac = Rrfd.Adopt_commit
+
+type cell = First of int | Second of int Ac.vote
+
+module E = Exec.Make (struct
+  type t = cell
+end)
+
+type result = { outcomes : int Ac.outcome array; steps : int }
+
+let run ~inputs ~schedule =
+  let n = Array.length inputs in
+  if n < 1 then invalid_arg "Adopt_commit_shm.run: no processes";
+  let outcomes = Array.make n (Ac.Adopt min_int) in
+  (* Locations: [0, n) first-round cells, [n, 2n) second-round cells. *)
+  let owner loc = loc mod n in
+  let collect base extract =
+    let seen = ref [] in
+    for c = n - 1 downto 0 do
+      match E.read (base + c) with
+      | Some cell -> seen := extract cell :: !seen
+      | None -> ()
+    done;
+    !seen
+  in
+  let body ~proc =
+    let own = inputs.(proc) in
+    E.write proc (First own);
+    let seen1 =
+      collect 0 (function First v -> v | Second _ -> assert false)
+    in
+    let vote = Ac.propose ~own ~seen:seen1 in
+    E.write (n + proc) (Second vote);
+    let seen2 =
+      collect n (function Second v -> v | First _ -> assert false)
+    in
+    outcomes.(proc) <- Ac.resolve ~own ~seen:seen2
+  in
+  let outcome = E.run ~enforce_swmr:owner ~n_procs:n ~n_locs:(2 * n) ~schedule body in
+  { outcomes; steps = outcome.E.steps }

@@ -1,0 +1,16 @@
+(** The register-based adopt-commit protocol, verbatim from Section 4.2.
+
+    Two arrays of SWMR registers [C·,1] and [C·,2]: a process writes its
+    proposal, collects the first array, writes "commit v" if it saw only
+    [v] (else "adopt own"), collects the second array, and resolves.
+    Wait-free for any interleaving of register steps; the experiments sweep
+    random and targeted schedules and check the adopt-commit specification
+    ({!Rrfd.Adopt_commit.check_outcomes}) on every run. *)
+
+type result = {
+  outcomes : int Rrfd.Adopt_commit.outcome array;
+  steps : int;
+}
+
+val run : inputs:int array -> schedule:Exec.strategy -> result
+(** One wait-free execution among [Array.length inputs] processes. *)

@@ -1,0 +1,56 @@
+module Pset = Rrfd.Pset
+
+module S = Snapshot.Make (struct
+  type t = int (* a process's current level *)
+end)
+
+type result = { views : Rrfd.Pset.t array; steps : int }
+
+let run_once ~n ~schedule =
+  if n < 1 || n > Pset.max_universe then invalid_arg "Immediate_snapshot: bad n";
+  let views = Array.make n Pset.empty in
+  let body ~proc =
+    let rec descend level =
+      S.update ~proc level;
+      let levels = S.scan () in
+      let at_or_below = ref Pset.empty in
+      Array.iteri
+        (fun q l ->
+          match l with
+          | Some lq when lq <= level -> at_or_below := Pset.add q !at_or_below
+          | Some _ | None -> ())
+        levels;
+      if Pset.cardinal !at_or_below >= level then views.(proc) <- !at_or_below
+      else descend (level - 1)
+    in
+    descend n
+  in
+  let outcome = S.run ~n ~schedule body in
+  { views; steps = outcome.S.steps }
+
+let check_views views =
+  let n = Array.length views in
+  let violation = ref None in
+  let report fmt = Printf.ksprintf (fun s -> if !violation = None then violation := Some s) fmt in
+  for i = 0 to n - 1 do
+    if not (Pset.mem i views.(i)) then report "p%d missing from its own view" i
+  done;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if
+        not (Pset.subset views.(i) views.(j) || Pset.subset views.(j) views.(i))
+      then report "views of p%d and p%d are incomparable" i j
+    done
+  done;
+  for i = 0 to n - 1 do
+    Pset.iter
+      (fun j ->
+        if not (Pset.subset views.(j) views.(i)) then
+          report "immediacy broken: p%d ∈ view of p%d but V_%d ⊄ V_%d" j i j i)
+      views.(i)
+  done;
+  !violation
+
+let to_fault_sets views =
+  let n = Array.length views in
+  Array.map (fun v -> Pset.diff (Pset.full n) v) views

@@ -1,0 +1,1 @@
+lib/sim/rng.ml: Array Int64 List

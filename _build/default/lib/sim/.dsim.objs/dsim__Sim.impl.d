@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Float Heap Rng

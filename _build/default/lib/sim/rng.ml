@@ -1,0 +1,78 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let next_state t =
+  t.state <- Int64.add t.state golden_gamma;
+  t.state
+
+let int64 t = mix64 (next_state t)
+
+let split t = { state = mix64 (int64 t) }
+
+let bits30 t = Int64.to_int (Int64.shift_right_logical (int64 t) 34)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound <= 1 lsl 30 then begin
+    (* Rejection sampling over 30 random bits avoids modulo bias. *)
+    let rec draw () =
+      let r = bits30 t in
+      let v = r mod bound in
+      if r - v + (bound - 1) < 0 then draw () else v
+    in
+    draw ()
+  end else
+    let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+    r mod bound
+
+let int_in_range t ~min ~max =
+  if max < min then invalid_arg "Rng.int_in_range: max < min";
+  min + int t (max - min + 1)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  bound *. (r /. 9007199254740992.0)
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let shuffle t l =
+  let a = Array.of_list l in
+  shuffle_in_place t a;
+  Array.to_list a
+
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let choose_array t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose_array: empty array";
+  a.(int t (Array.length a))
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  (* Reservoir-free selection sampling (Knuth algorithm S): O(n). *)
+  let rec go i remaining acc =
+    if remaining = 0 then List.rev acc
+    else if n - i = remaining then List.rev_append acc (List.init remaining (fun j -> i + j))
+    else if int t (n - i) < remaining then go (i + 1) (remaining - 1) (i :: acc)
+    else go (i + 1) remaining acc
+  in
+  go 0 k []

@@ -1,0 +1,56 @@
+type t = {
+  mutable clock : float;
+  queue : (t -> unit) Heap.t;
+  random : Rng.t;
+  mutable executed : int;
+}
+
+let create ?(seed = 0) () =
+  { clock = 0.0; queue = Heap.create (); random = Rng.create seed; executed = 0 }
+
+let now sim = sim.clock
+
+let rng sim = sim.random
+
+let check_time what time =
+  if not (Float.is_finite time) then invalid_arg (what ^ ": time must be finite")
+
+let schedule_at sim ~time f =
+  check_time "Sim.schedule_at" time;
+  if time < sim.clock then invalid_arg "Sim.schedule_at: time is in the past";
+  Heap.push sim.queue time f
+
+let schedule sim ~delay f =
+  if Float.is_nan delay || delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  schedule_at sim ~time:(sim.clock +. delay) f
+
+let pending sim = Heap.length sim.queue
+
+let step sim =
+  match Heap.pop sim.queue with
+  | None -> false
+  | Some (time, f) ->
+    sim.clock <- time;
+    sim.executed <- sim.executed + 1;
+    f sim;
+    true
+
+let run ?until ?max_events sim =
+  let start = sim.executed in
+  let budget_ok () =
+    match max_events with None -> true | Some m -> sim.executed - start < m
+  in
+  let time_ok () =
+    match until with
+    | None -> true
+    | Some horizon -> (
+      match Heap.peek sim.queue with
+      | None -> false
+      | Some (time, _) -> time <= horizon)
+  in
+  let rec loop () =
+    if budget_ok () && time_ok () && step sim then loop ()
+  in
+  loop ()
+
+let executed sim = sim.executed

@@ -1,0 +1,1 @@
+lib/sync/early_deciding.ml: Array Int List Option Printf Rrfd

@@ -1,0 +1,1 @@
+lib/sync/early_deciding.mli: Rrfd

@@ -1,0 +1,1 @@
+lib/sync/faults.ml: Array Dsim Hashtbl List Option Rrfd

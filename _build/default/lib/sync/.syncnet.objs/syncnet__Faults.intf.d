@@ -1,0 +1,1 @@
+lib/sync/faults.mli: Dsim Rrfd

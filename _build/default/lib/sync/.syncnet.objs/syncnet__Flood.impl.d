@@ -1,0 +1,1 @@
+lib/sync/flood.ml: Array Int List Option Printf Rrfd

@@ -1,0 +1,1 @@
+lib/sync/sync_net.ml: Array Faults Option Rrfd

@@ -1,0 +1,1 @@
+lib/sync/sync_net.mli: Faults Rrfd

@@ -1,0 +1,98 @@
+module Pset = Rrfd.Pset
+
+type crash_spec = { round : int; survivors : Pset.t }
+
+type t = {
+  n : int;
+  crashes : crash_spec option array;
+  omitters : Pset.t;
+  drops : round:int -> sender:Rrfd.Proc.t -> Pset.t; (* cached, deterministic *)
+}
+
+let n t = t.n
+
+let no_drops ~round:_ ~sender:_ = Pset.empty
+
+let none ~n =
+  if n < 1 || n > Pset.max_universe then invalid_arg "Faults.none: bad n";
+  { n; crashes = Array.make n None; omitters = Pset.empty; drops = no_drops }
+
+let faulty_processes t =
+  let crashed = ref Pset.empty in
+  Array.iteri
+    (fun i c -> if Option.is_some c then crashed := Pset.add i !crashed)
+    t.crashes;
+  Pset.union !crashed t.omitters
+
+let crashed_before t ~round =
+  let set = ref Pset.empty in
+  Array.iteri
+    (fun i c ->
+      match c with
+      | Some { round = r; _ } when r < round -> set := Pset.add i !set
+      | Some _ | None -> ())
+    t.crashes;
+  !set
+
+let delivered t ~round ~sender ~receiver =
+  match t.crashes.(sender) with
+  | Some { round = r; _ } when r < round -> false
+  | Some { round = r; survivors } when r = round ->
+    Pset.mem receiver survivors || Rrfd.Proc.equal sender receiver
+  | Some _ | None ->
+    Rrfd.Proc.equal sender receiver
+    || not (Pset.mem receiver (t.drops ~round ~sender))
+
+let crash ~n specs =
+  let base = none ~n in
+  let crashes = Array.make n None in
+  List.iter
+    (fun (p, round, survivors) ->
+      if p < 0 || p >= n then invalid_arg "Faults.crash: process out of range";
+      if round < 1 then invalid_arg "Faults.crash: round must be ≥ 1";
+      if not (Pset.subset survivors (Pset.full n)) then
+        invalid_arg "Faults.crash: survivors out of range";
+      if Option.is_some crashes.(p) then
+        invalid_arg "Faults.crash: duplicate crash spec";
+      crashes.(p) <- Some { round; survivors })
+    specs;
+  { base with crashes }
+
+let random_crash rng ~n ~f ~max_round =
+  if f < 0 || f >= n then invalid_arg "Faults.random_crash: need 0 ≤ f < n";
+  if max_round < 1 then invalid_arg "Faults.random_crash: max_round ≥ 1";
+  let count = Dsim.Rng.int_in_range rng ~min:0 ~max:f in
+  let victims = Dsim.Rng.sample_without_replacement rng count n in
+  let specs =
+    List.map
+      (fun p ->
+        let round = Dsim.Rng.int_in_range rng ~min:1 ~max:max_round in
+        let survivors = Pset.random_subset rng (Pset.full n) in
+        (p, round, survivors))
+      victims
+  in
+  crash ~n specs
+
+let omission ~n ~faulty ~drops =
+  let base = none ~n in
+  if not (Pset.subset faulty (Pset.full n)) then
+    invalid_arg "Faults.omission: faulty set out of range";
+  let cache : (int * int, Pset.t) Hashtbl.t = Hashtbl.create 64 in
+  let cached ~round ~sender =
+    if not (Pset.mem sender faulty) then Pset.empty
+    else
+      match Hashtbl.find_opt cache (round, sender) with
+      | Some s -> s
+      | None ->
+        let s = Pset.remove sender (drops ~round ~sender) in
+        Hashtbl.replace cache (round, sender) s;
+        s
+  in
+  { base with omitters = faulty; drops = cached }
+
+let random_omission rng ~n ~f =
+  if f < 0 || f >= n then invalid_arg "Faults.random_omission: need 0 ≤ f < n";
+  let count = Dsim.Rng.int_in_range rng ~min:0 ~max:f in
+  let faulty = Pset.of_list (Dsim.Rng.sample_without_replacement rng count n) in
+  let drops ~round:_ ~sender:_ = Pset.random_subset rng (Pset.full n) in
+  omission ~n ~faulty ~drops

@@ -1,0 +1,50 @@
+(** Fault patterns for the synchronous substrate.
+
+    A pattern fixes, before the run, which processes misbehave and how: a
+    crashing process stops at a given round, its last round of messages
+    reaching only a chosen subset; an omitting process stays alive but some
+    of its messages are dropped each round.  Patterns are explicit data, so
+    runs replay exactly. *)
+
+type t
+
+val n : t -> int
+
+val none : n:int -> t
+(** The failure-free pattern. *)
+
+val faulty_processes : t -> Rrfd.Pset.t
+(** Every process that crashes or omits under this pattern. *)
+
+val crashed_before : t -> round:int -> Rrfd.Pset.t
+(** Processes that crashed strictly before [round] (they send nothing in
+    [round]). *)
+
+val delivered : t -> round:int -> sender:Rrfd.Proc.t -> receiver:Rrfd.Proc.t -> bool
+(** Whether [sender]'s round-[round] message reaches [receiver], accounting
+    for earlier crashes, partial last-round delivery and omissions.  A
+    process always "delivers" to itself unless it crashed earlier. *)
+
+val crash : n:int -> (Rrfd.Proc.t * int * Rrfd.Pset.t) list -> t
+(** [crash ~n specs] crashes each listed process: [(p, r, survivors)] means
+    [p] crashes at round [r], its round-[r] messages reaching exactly
+    [survivors] (its later messages nobody).
+    @raise Invalid_argument on duplicate processes, [r < 1], or survivor
+    sets mentioning out-of-range processes. *)
+
+val random_crash :
+  Dsim.Rng.t -> n:int -> f:int -> max_round:int -> t
+(** Up to [f] processes crash at uniform rounds in [\[1, max_round\]] with
+    uniform partial-delivery sets. *)
+
+val omission :
+  n:int -> faulty:Rrfd.Pset.t -> drops:(round:int -> sender:Rrfd.Proc.t -> Rrfd.Pset.t) -> t
+(** Send-omission pattern: every round, [drops ~round ~sender] is the set of
+    receivers that miss [sender]'s message; it must be constant across calls
+    (it is sampled once per (round, sender) and cached) and empty for
+    senders outside [faulty]. *)
+
+val random_omission :
+  Dsim.Rng.t -> n:int -> f:int -> t
+(** Up to [f] faulty senders, each dropping an independent random subset of
+    receivers every round. *)

@@ -1,0 +1,75 @@
+module Pset = Rrfd.Pset
+
+type 'out result = {
+  decisions : 'out option array;
+  decision_rounds : int option array;
+  rounds_used : int;
+  induced : Rrfd.Fault_history.t;
+  crashed : Rrfd.Pset.t;
+}
+
+let run ~n ~rounds ~pattern ~algorithm ?(stop_when_decided = true) () =
+  if Faults.n pattern <> n then invalid_arg "Sync_net.run: pattern size mismatch";
+  let open Rrfd.Algorithm in
+  let states = Array.init n (fun i -> algorithm.init ~n i) in
+  let decisions = Array.make n None in
+  let decision_rounds = Array.make n None in
+  let all = Pset.full n in
+  let record_decisions round alive =
+    Pset.iter
+      (fun i ->
+        if Option.is_none decisions.(i) then
+          match algorithm.decide states.(i) with
+          | None -> ()
+          | Some v ->
+            decisions.(i) <- Some v;
+            decision_rounds.(i) <- Some round)
+      alive
+  in
+  let rec loop round history =
+    let alive = Pset.diff all (Faults.crashed_before pattern ~round) in
+    let done_ =
+      round > rounds
+      || (stop_when_decided
+         && Pset.for_all (fun i -> Option.is_some decisions.(i)) alive)
+    in
+    if done_ then
+      {
+        decisions;
+        decision_rounds;
+        rounds_used = round - 1;
+        induced = history;
+        crashed = Pset.diff all alive;
+      }
+    else begin
+      let emitted =
+        Array.init n (fun i ->
+            if Pset.mem i alive then Some (algorithm.emit states.(i) ~round)
+            else None)
+      in
+      let fault_sets =
+        Array.init n (fun i ->
+            Pset.filter
+              (fun s ->
+                (not (Rrfd.Proc.equal s i))
+                && not
+                     (Pset.mem s alive
+                     && Faults.delivered pattern ~round ~sender:s ~receiver:i))
+              all)
+      in
+      let history = Rrfd.Fault_history.append history fault_sets in
+      Pset.iter
+        (fun i ->
+          let faulty = fault_sets.(i) in
+          let received =
+            Array.init n (fun j ->
+                if Pset.mem j faulty then None else emitted.(j))
+          in
+          (* A process's own slot is always filled: it knows its message. *)
+          states.(i) <- algorithm.deliver states.(i) ~round ~received ~faulty)
+        alive;
+      record_decisions round alive;
+      loop (round + 1) history
+    end
+  in
+  loop 1 (Rrfd.Fault_history.empty ~n)

@@ -1,0 +1,35 @@
+(** Lock-step synchronous execution of RRFD algorithms under fault
+    injection.
+
+    This is "system N" of items 1 and 2: real synchronous rounds in which a
+    process sends to everybody and, by the end of the round, has received
+    every message sent to it by a process that did not fail.  Running an
+    algorithm here both executes it and {e derives} the RRFD fault history
+    — [D(i,r)] is simply the set of senders process [i] failed to hear — so
+    the model-correspondence experiments can check the derived history
+    against the item-1/item-2 predicates. *)
+
+type 'out result = {
+  decisions : 'out option array;
+  decision_rounds : int option array;
+  rounds_used : int;
+  induced : Rrfd.Fault_history.t;
+      (** The derived fault history.  For a process that crashed, later
+          rounds record what it {e would} have missed — consistent with the
+          RRFD reading in which every process keeps executing. *)
+  crashed : Rrfd.Pset.t;  (** Processes that crashed during the run. *)
+}
+
+val run :
+  n:int ->
+  rounds:int ->
+  pattern:Faults.t ->
+  algorithm:('s, 'm, 'out) Rrfd.Algorithm.t ->
+  ?stop_when_decided:bool ->
+  unit ->
+  'out result
+(** [run ~n ~rounds ~pattern ~algorithm ()] executes up to [rounds]
+    synchronous rounds.  A process crashed by [pattern] stops emitting and
+    stops updating its state (its pre-crash decision, if any, stands).
+    With [stop_when_decided] (default true) the run ends once every
+    non-crashed process has decided. *)

@@ -1,0 +1,1 @@
+lib/tasks/agreement.ml: Array Format Fun Int List Printf Rrfd

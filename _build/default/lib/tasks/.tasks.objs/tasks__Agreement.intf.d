@@ -1,0 +1,1 @@
+lib/tasks/agreement.mli: Format Rrfd

@@ -1,0 +1,1 @@
+lib/tasks/inputs.ml: Array Dsim Fun

@@ -1,0 +1,1 @@
+test/agreement_check.ml: Tasks

@@ -1,0 +1,1 @@
+test/test_abd_ct.ml: Agreement_check Alcotest Array Dsim List Msgnet Option Printf QCheck QCheck_alcotest Rrfd

@@ -1,0 +1,1 @@
+test/test_ablation.ml: Adversary Alcotest Array Dsim List Rrfd String Tasks

@@ -1,0 +1,1 @@
+test/test_adopt_commit.ml: Alcotest Array Dsim Format List Option QCheck QCheck_alcotest Rrfd Shm

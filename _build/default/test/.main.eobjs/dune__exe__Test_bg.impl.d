@@ -1,0 +1,1 @@
+test/test_bg.ml: Alcotest Array Dsim Int List Option QCheck QCheck_alcotest Rrfd Syncnet Tasks

@@ -1,0 +1,1 @@
+test/test_composition.ml: Adversary Alcotest Array Dsim Int List Msgnet QCheck QCheck_alcotest Rrfd Shm Syncnet Tasks

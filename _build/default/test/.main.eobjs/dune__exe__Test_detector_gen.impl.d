@@ -1,0 +1,1 @@
+test/test_detector_gen.ml: Alcotest Dsim List QCheck QCheck_alcotest Rrfd Test

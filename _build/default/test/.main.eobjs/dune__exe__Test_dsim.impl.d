@@ -1,0 +1,1 @@
+test/test_dsim.ml: Alcotest Dsim Fun List Option

@@ -1,0 +1,1 @@
+test/test_early_deciding.ml: Adversary Agreement_check Alcotest Array Dsim Fun List Printf QCheck QCheck_alcotest Rrfd Syncnet Tasks

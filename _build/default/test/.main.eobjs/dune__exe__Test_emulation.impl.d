@@ -1,0 +1,1 @@
+test/test_emulation.ml: Adversary Alcotest Dsim List QCheck QCheck_alcotest Rrfd

@@ -1,0 +1,1 @@
+test/test_engine_kset.ml: Agreement_check Alcotest Array Dsim List Option QCheck QCheck_alcotest Rrfd

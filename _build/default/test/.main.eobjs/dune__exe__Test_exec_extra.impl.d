@@ -1,0 +1,1 @@
+test/test_exec_extra.ml: Alcotest Array Dsim Msgnet Rrfd Shm

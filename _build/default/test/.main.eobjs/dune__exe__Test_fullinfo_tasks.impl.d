@@ -1,0 +1,1 @@
+test/test_fullinfo_tasks.ml: Alcotest Array Dsim Rrfd String Tasks

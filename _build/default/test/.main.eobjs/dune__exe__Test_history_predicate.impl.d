@@ -1,0 +1,1 @@
+test/test_history_predicate.ml: Alcotest Array List Rrfd String

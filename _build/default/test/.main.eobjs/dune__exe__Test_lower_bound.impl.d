@@ -1,0 +1,1 @@
+test/test_lower_bound.ml: Adversary Alcotest Array List Printf Rrfd Syncnet Tasks

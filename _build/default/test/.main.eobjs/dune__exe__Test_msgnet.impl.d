@@ -1,0 +1,1 @@
+test/test_msgnet.ml: Alcotest Array Dsim Fun List Msgnet QCheck QCheck_alcotest Rrfd

@@ -1,0 +1,1 @@
+test/test_phased.ml: Agreement_check Alcotest Array Dsim Fun List QCheck QCheck_alcotest Rrfd

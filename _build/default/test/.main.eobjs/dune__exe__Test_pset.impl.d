@@ -1,0 +1,1 @@
+test/test_pset.ml: Alcotest Dsim Gen List QCheck QCheck_alcotest Rrfd Test

@@ -1,0 +1,1 @@
+test/test_registry.ml: Alcotest Experiments List Printf

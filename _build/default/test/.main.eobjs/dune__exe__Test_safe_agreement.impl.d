@@ -1,0 +1,1 @@
+test/test_safe_agreement.ml: Alcotest Array Dsim Fun Int List Option QCheck QCheck_alcotest Shm

@@ -1,0 +1,1 @@
+test/test_semisync.ml: Agreement_check Alcotest Array Dsim List Option Printf QCheck QCheck_alcotest Rrfd Semisync

@@ -1,0 +1,1 @@
+test/test_serialization.ml: Alcotest Array Dsim List QCheck QCheck_alcotest Rrfd

@@ -1,0 +1,1 @@
+test/test_shm.ml: Alcotest Array Dsim Fun List Option QCheck QCheck_alcotest Rrfd Shm

@@ -1,0 +1,1 @@
+test/test_simulations.ml: Agreement_check Alcotest Array Dsim Fun List QCheck QCheck_alcotest Rrfd Syncnet

@@ -1,0 +1,1 @@
+test/test_snapshot_stress.ml: Alcotest Array Dsim List QCheck QCheck_alcotest Shm

@@ -1,0 +1,1 @@
+test/test_submodel.ml: Alcotest Dsim List Rrfd

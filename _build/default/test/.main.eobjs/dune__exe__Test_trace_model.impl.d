@@ -1,0 +1,1 @@
+test/test_trace_model.ml: Alcotest Array Format List Rrfd String Syncnet

@@ -1,0 +1,4 @@
+(* Shared shorthand for the agreement checker in tests. *)
+
+let kset ?allow_undecided ~k ~inputs decisions =
+  Tasks.Agreement.check ?allow_undecided ~k ~inputs decisions

@@ -1,0 +1,31 @@
+let () =
+  Alcotest.run "rrfd"
+    [
+      ("pset", Test_pset.tests);
+      ("dsim", Test_dsim.tests);
+      ("history+predicate", Test_history_predicate.tests);
+      ("detector-gen", Test_detector_gen.tests);
+      ("engine+kset", Test_engine_kset.tests);
+      ("adopt-commit", Test_adopt_commit.tests);
+      ("simulations", Test_simulations.tests);
+      ("syncnet", Test_syncnet.tests);
+      ("msgnet", Test_msgnet.tests);
+      ("shm", Test_shm.tests);
+      ("semisync", Test_semisync.tests);
+      ("lower-bound", Test_lower_bound.tests);
+      ("submodel", Test_submodel.tests);
+      ("emulation", Test_emulation.tests);
+      ("full-info+tasks", Test_fullinfo_tasks.tests);
+      ("abd+ct", Test_abd_ct.tests);
+      ("early-deciding", Test_early_deciding.tests);
+      ("trace+model", Test_trace_model.tests);
+      ("serialization", Test_serialization.tests);
+      ("ablation", Test_ablation.tests);
+      ("composition", Test_composition.tests);
+      ("phased-consensus", Test_phased.tests);
+      ("safe-agreement", Test_safe_agreement.tests);
+      ("exec+net extras", Test_exec_extra.tests);
+      ("bg-simulation", Test_bg.tests);
+      ("snapshot-stress", Test_snapshot_stress.tests);
+      ("registry", Test_registry.tests);
+    ]

@@ -1,0 +1,119 @@
+(* Tests for the discrete-event substrate: Rng, Heap, Sim. *)
+
+module Rng = Dsim.Rng
+module Heap = Dsim.Heap
+module Sim = Dsim.Sim
+
+let rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.int64 a <> Rng.int64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    Alcotest.(check bool) "int in range" true (v >= 0 && v < 10);
+    let w = Rng.int_in_range rng ~min:5 ~max:9 in
+    Alcotest.(check bool) "range inclusive" true (w >= 5 && w <= 9);
+    let f = Rng.float rng 3.0 in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 3.0)
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let rng_sampling () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 100 do
+    let sample = Rng.sample_without_replacement rng 5 20 in
+    Alcotest.(check int) "sample size" 5 (List.length sample);
+    Alcotest.(check bool) "sorted distinct" true
+      (List.sort_uniq compare sample = sample);
+    List.iter
+      (fun v -> Alcotest.(check bool) "in universe" true (v >= 0 && v < 20))
+      sample
+  done;
+  let all = Rng.sample_without_replacement rng 20 20 in
+  Alcotest.(check int) "full sample" 20 (List.length all)
+
+let rng_shuffle_permutes () =
+  let rng = Rng.create 3 in
+  let l = List.init 30 Fun.id in
+  let shuffled = Rng.shuffle rng l in
+  Alcotest.(check (list int)) "same multiset" l (List.sort compare shuffled)
+
+let heap_orders () =
+  let h = Heap.create () in
+  let rng = Rng.create 5 in
+  for _ = 1 to 200 do
+    Heap.push h (Rng.float rng 100.0) ()
+  done;
+  let rec drain last =
+    match Heap.pop h with
+    | None -> ()
+    | Some (p, ()) ->
+      Alcotest.(check bool) "non-decreasing" true (p >= last);
+      drain p
+  in
+  drain neg_infinity;
+  Alcotest.(check bool) "drained" true (Heap.is_empty h)
+
+let heap_stable_ties () =
+  let h = Heap.create () in
+  List.iter (fun i -> Heap.push h 1.0 i) [ 1; 2; 3; 4 ];
+  let order = List.filter_map (fun _ -> Option.map snd (Heap.pop h)) [ (); (); (); () ] in
+  Alcotest.(check (list int)) "insertion order on ties" [ 1; 2; 3; 4 ] order
+
+let sim_runs_in_time_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~delay:5.0 (fun _ -> log := 5 :: !log);
+  Sim.schedule sim ~delay:1.0 (fun s ->
+      log := 1 :: !log;
+      Sim.schedule s ~delay:1.0 (fun _ -> log := 2 :: !log));
+  Sim.run sim;
+  Alcotest.(check (list int)) "execution order" [ 1; 2; 5 ] (List.rev !log);
+  Alcotest.(check (float 0.0)) "clock at last event" 5.0 (Sim.now sim)
+
+let sim_until_and_budget () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Sim.schedule sim ~delay:(float_of_int i) (fun _ -> incr count)
+  done;
+  Sim.run ~until:4.5 sim;
+  Alcotest.(check int) "until stops" 4 !count;
+  Sim.run ~max_events:2 sim;
+  Alcotest.(check int) "budget stops" 6 !count;
+  Sim.run sim;
+  Alcotest.(check int) "drains" 10 !count
+
+let sim_rejects_past () =
+  let sim = Sim.create () in
+  Sim.schedule sim ~delay:2.0 (fun s ->
+      Alcotest.check_raises "past" (Invalid_argument "Sim.schedule_at: time is in the past")
+        (fun () -> Sim.schedule_at s ~time:1.0 (fun _ -> ())));
+  Sim.run sim
+
+let tests =
+  [
+    Alcotest.test_case "rng determinism" `Quick rng_deterministic;
+    Alcotest.test_case "rng seeds" `Quick rng_seed_sensitivity;
+    Alcotest.test_case "rng bounds" `Quick rng_bounds;
+    Alcotest.test_case "rng sampling" `Quick rng_sampling;
+    Alcotest.test_case "rng shuffle" `Quick rng_shuffle_permutes;
+    Alcotest.test_case "heap orders" `Quick heap_orders;
+    Alcotest.test_case "heap stable ties" `Quick heap_stable_ties;
+    Alcotest.test_case "sim time order" `Quick sim_runs_in_time_order;
+    Alcotest.test_case "sim until/budget" `Quick sim_until_and_budget;
+    Alcotest.test_case "sim rejects past" `Quick sim_rejects_past;
+  ]

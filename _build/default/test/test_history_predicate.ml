@@ -1,0 +1,151 @@
+(* Tests for Fault_history and the paper's named predicates. *)
+
+module Pset = Rrfd.Pset
+module H = Rrfd.Fault_history
+module P = Rrfd.Predicate
+
+let s = Pset.of_list
+
+let history n rounds = H.of_rounds ~n (List.map Array.of_list rounds)
+
+let holds p h = Alcotest.(check bool) (P.name p) true (Rrfd.Predicate.holds p h)
+
+let fails p h reason =
+  Alcotest.(check bool) reason false (Rrfd.Predicate.holds p h)
+
+let history_accessors () =
+  let h = history 3 [ [ s [ 1 ]; s []; s [ 0; 1 ] ]; [ s []; s [ 2 ]; s [] ] ] in
+  Alcotest.(check int) "rounds" 2 (H.rounds h);
+  Alcotest.(check int) "n" 3 (H.n h);
+  Alcotest.(check bool) "d access" true (Pset.equal (H.d h ~proc:0 ~round:1) (s [ 1 ]));
+  Alcotest.(check bool) "round union" true
+    (Pset.equal (H.round_union h ~round:1) (s [ 0; 1 ]));
+  Alcotest.(check bool) "round inter" true
+    (Pset.equal (H.round_inter h ~round:1) Pset.empty);
+  Alcotest.(check bool) "cumulative" true
+    (Pset.equal (H.cumulative_union h) (s [ 0; 1; 2 ]));
+  Alcotest.(check bool) "cumulative upto 1" true
+    (Pset.equal (H.cumulative_union_upto h ~round:1) (s [ 0; 1 ]));
+  Alcotest.check_raises "bad round"
+    (Invalid_argument "Fault_history: round out of range") (fun () ->
+      ignore (H.round_union h ~round:3))
+
+let omission_pred () =
+  let p = P.omission ~f:1 in
+  holds p (history 3 [ [ s [ 2 ]; s []; s [] ] ]);
+  holds p (history 3 [ [ s [ 2 ]; s [ 2 ]; s [] ]; [ s []; s [ 2 ]; s [] ] ]);
+  fails p
+    (history 3 [ [ s [ 1 ]; s []; s [] ]; [ s [ 2 ]; s []; s [] ] ])
+    "two distinct faulty senders exceed f=1";
+  fails p (history 3 [ [ s []; s []; s [ 2 ] ] ]) "self-suspicion";
+  (* f bounds the *cumulative union*, not per-round sizes. *)
+  holds (P.omission ~f:2) (history 3 [ [ s [ 1; 2 ]; s []; s [] ] ])
+
+let crash_pred () =
+  let p = P.crash ~f:2 in
+  (* p2 crashes at round 1, partially missed, then missed by all. *)
+  holds p
+    (history 3 [ [ s [ 2 ]; s []; s [] ]; [ s [ 2 ]; s [ 2 ]; s [] ] ]);
+  (* closure violated: p2 missed at round 1 but received by p1 at round 2
+     without p1 missing it. *)
+  fails p
+    (history 3 [ [ s [ 2 ]; s []; s [] ]; [ s [ 2 ]; s []; s [] ] ])
+    "crash closure violated";
+  (* the crashed process itself is exempt from suspecting itself *)
+  holds p
+    (history 3 [ [ s [ 2 ]; s [ 2 ]; s [] ]; [ s [ 2 ]; s [ 2 ]; s [] ] ])
+
+let async_pred () =
+  let p = P.async_resilient ~f:1 in
+  holds p (history 3 [ [ s [ 0 ]; s [ 2 ]; s [ 1 ] ] ]);
+  fails p (history 3 [ [ s [ 0; 1 ]; s []; s [] ] ]) "fault set too big";
+  (* unlike omission, different processes may be missed every round *)
+  holds p (history 3 [ [ s [ 0 ]; s []; s [] ]; [ s [ 1 ]; s []; s [] ] ])
+
+let async_mixed_pred () =
+  let p = P.async_mixed ~f:1 ~t:2 in
+  (* one process misses 2 (inside Q), others at most 1 *)
+  holds p (history 4 [ [ s [ 1; 2 ]; s [ 0 ]; s []; s [ 3 ] ] ]);
+  (* three processes missing 2 exceeds |Q| ≤ 2 *)
+  fails p
+    (history 4 [ [ s [ 1; 2 ]; s [ 0; 2 ]; s [ 0; 1 ]; s [] ] ])
+    "too many weak processes";
+  fails p
+    (history 4 [ [ s [ 1; 2; 3 ]; s []; s []; s [] ] ])
+    "weak process missing more than t"
+
+let shm_pred () =
+  let p = P.shared_memory ~f:2 in
+  holds p (history 3 [ [ s [ 1 ]; s [ 0 ]; s [ 0 ] ] ]);
+  (* everyone suspected by someone *)
+  fails p
+    (history 3 [ [ s [ 1 ]; s [ 2 ]; s [ 0 ] ] ])
+    "no process seen by all"
+
+let antisym_pred () =
+  holds P.antisymmetric_misses (history 3 [ [ s [ 1 ]; s [ 2 ]; s [ 0 ] ] ]);
+  fails P.antisymmetric_misses
+    (history 3 [ [ s [ 1 ]; s [ 0 ]; s [] ] ])
+    "mutual suspicion"
+
+let snapshot_pred () =
+  let p = P.snapshot ~f:2 in
+  (* comparable chain ∅ ⊆ {2} ⊆ {1,2}: needs |D| ≤ f and no self *)
+  holds p (history 3 [ [ s [ 1; 2 ]; s [ 2 ]; s [] ] ]);
+  fails p
+    (history 3 [ [ s [ 1 ]; s [ 2 ]; s [] ] ])
+    "incomparable fault sets";
+  fails p (history 3 [ [ s [ 0 ]; s []; s [] ] ]) "self-suspicion"
+
+let detector_s_pred () =
+  holds P.detector_s
+    (history 3 [ [ s [ 1 ]; s [ 1 ]; s [ 1 ] ]; [ s [ 0 ]; s []; s [] ] ]);
+  fails P.detector_s
+    (history 3 [ [ s [ 1 ]; s [ 2 ]; s [ 0 ] ] ])
+    "every process eventually suspected"
+
+let k_set_pred () =
+  let p1 = P.k_set ~k:1 in
+  holds p1 (history 3 [ [ s [ 2 ]; s [ 2 ]; s [ 2 ] ] ]);
+  fails p1
+    (history 3 [ [ s [ 2 ]; s []; s [] ] ])
+    "k=1 forbids any disagreement";
+  let p2 = P.k_set ~k:2 in
+  holds p2 (history 3 [ [ s [ 2 ]; s []; s [] ] ]);
+  fails p2
+    (history 3 [ [ s [ 1; 2 ]; s []; s [] ] ])
+    "uncertainty of 2 breaks k=2"
+
+let identical_pred () =
+  holds P.identical_views (history 3 [ [ s [ 1 ]; s [ 1 ]; s [ 1 ] ] ]);
+  fails P.identical_views
+    (history 3 [ [ s [ 1 ]; s [ 1 ]; s [] ] ])
+    "views differ"
+
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub haystack i ln = needle || go (i + 1)) in
+  go 0
+
+let explain_names_round () =
+  let h = history 3 [ [ s []; s []; s [] ]; [ s [ 0; 1 ]; s []; s [] ] ] in
+  match Rrfd.Predicate.explain (P.async_resilient ~f:1) h with
+  | Some msg ->
+    Alcotest.(check bool) "mentions round 2" true (contains msg "2")
+  | None -> Alcotest.fail "expected a violation"
+
+let tests =
+  [
+    Alcotest.test_case "history accessors" `Quick history_accessors;
+    Alcotest.test_case "omission" `Quick omission_pred;
+    Alcotest.test_case "crash" `Quick crash_pred;
+    Alcotest.test_case "async" `Quick async_pred;
+    Alcotest.test_case "async mixed" `Quick async_mixed_pred;
+    Alcotest.test_case "shared memory" `Quick shm_pred;
+    Alcotest.test_case "antisymmetric" `Quick antisym_pred;
+    Alcotest.test_case "snapshot" `Quick snapshot_pred;
+    Alcotest.test_case "detector S" `Quick detector_s_pred;
+    Alcotest.test_case "k-set" `Quick k_set_pred;
+    Alcotest.test_case "identical views" `Quick identical_pred;
+    Alcotest.test_case "explain names round" `Quick explain_names_round;
+  ]

@@ -1,0 +1,96 @@
+(* Unit and property tests for Rrfd.Pset. *)
+
+module Pset = Rrfd.Pset
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let set testable_name l = Alcotest.check (Alcotest.list Alcotest.int) testable_name l
+
+let basic () =
+  check "empty has nothing" false (Pset.mem 0 Pset.empty);
+  check_int "empty cardinal" 0 (Pset.cardinal Pset.empty);
+  let s = Pset.of_list [ 3; 1; 4; 1 ] in
+  check_int "duplicates collapse" 3 (Pset.cardinal s);
+  set "sorted elements" [ 1; 3; 4 ] (Pset.to_list s);
+  check "mem present" true (Pset.mem 4 s);
+  check "mem absent" false (Pset.mem 2 s);
+  check "remove" false (Pset.mem 3 (Pset.remove 3 s));
+  check_int "full n" 7 (Pset.cardinal (Pset.full 7))
+
+let algebra () =
+  let a = Pset.of_list [ 0; 1; 2 ] and b = Pset.of_list [ 2; 3 ] in
+  set "union" [ 0; 1; 2; 3 ] (Pset.to_list (Pset.union a b));
+  set "inter" [ 2 ] (Pset.to_list (Pset.inter a b));
+  set "diff" [ 0; 1 ] (Pset.to_list (Pset.diff a b));
+  check "subset yes" true (Pset.subset (Pset.of_list [ 1 ]) a);
+  check "subset no" false (Pset.subset b a);
+  check "disjoint no" false (Pset.disjoint a b);
+  check "disjoint yes" true (Pset.disjoint (Pset.of_list [ 0 ]) (Pset.of_list [ 5 ]))
+
+let extrema () =
+  let s = Pset.of_list [ 5; 2; 9 ] in
+  Alcotest.(check (option int)) "min" (Some 2) (Pset.min_elt s);
+  Alcotest.(check (option int)) "max" (Some 9) (Pset.max_elt s);
+  Alcotest.(check (option int)) "min empty" None (Pset.min_elt Pset.empty);
+  check_int "nth 0" 2 (Pset.choose_nth s 0);
+  check_int "nth 2" 9 (Pset.choose_nth s 2);
+  Alcotest.check_raises "nth out of range" (Invalid_argument "Pset.choose_nth: index out of range")
+    (fun () -> ignore (Pset.choose_nth s 3))
+
+let enumeration () =
+  let s = Pset.full 4 in
+  check_int "subsets count" 16 (List.length (Pset.subsets s));
+  check_int "k-subsets count" 6 (List.length (Pset.subsets_of_size s 2));
+  List.iter
+    (fun sub -> check "subset of s" true (Pset.subset sub s))
+    (Pset.subsets s);
+  List.iter
+    (fun sub -> check_int "size 2" 2 (Pset.cardinal sub))
+    (Pset.subsets_of_size s 2)
+
+let out_of_range () =
+  Alcotest.check_raises "negative id"
+    (Invalid_argument "Pset: process id -1 out of [0,62)") (fun () ->
+      ignore (Pset.singleton (-1)));
+  Alcotest.check_raises "too large full"
+    (Invalid_argument "Pset.full: size out of range") (fun () ->
+      ignore (Pset.full 63))
+
+let qcheck_props =
+  let open QCheck in
+  let gen_set =
+    let open Gen in
+    map Pset.of_list (list_size (int_bound 10) (int_bound (Pset.max_universe - 1)))
+  in
+  let arb_set = make ~print:Pset.to_string gen_set in
+  [
+    Test.make ~name:"union commutes" ~count:500 (pair arb_set arb_set)
+      (fun (a, b) -> Pset.equal (Pset.union a b) (Pset.union b a));
+    Test.make ~name:"inter absorbs union" ~count:500 (pair arb_set arb_set)
+      (fun (a, b) -> Pset.equal (Pset.inter a (Pset.union a b)) a);
+    Test.make ~name:"diff then union restores superset" ~count:500
+      (pair arb_set arb_set) (fun (a, b) ->
+        Pset.subset a (Pset.union (Pset.diff a b) (Pset.inter a b)));
+    Test.make ~name:"cardinal = length of to_list" ~count:500 arb_set (fun s ->
+        Pset.cardinal s = List.length (Pset.to_list s));
+    Test.make ~name:"fold visits ascending" ~count:500 arb_set (fun s ->
+        let l = List.rev (Pset.fold (fun p acc -> p :: acc) s []) in
+        l = List.sort compare l);
+    Test.make ~name:"random_subset_of_size has requested size" ~count:300
+      (pair arb_set small_nat) (fun (s, k) ->
+        let rng = Dsim.Rng.create (Pset.cardinal s + k) in
+        let k = min k (Pset.cardinal s) in
+        let sub = Pset.random_subset_of_size rng s k in
+        Pset.cardinal sub = k && Pset.subset sub s);
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "basic" `Quick basic;
+    Alcotest.test_case "algebra" `Quick algebra;
+    Alcotest.test_case "extrema" `Quick extrema;
+    Alcotest.test_case "enumeration" `Quick enumeration;
+    Alcotest.test_case "out-of-range" `Quick out_of_range;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_props

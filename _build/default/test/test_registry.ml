@@ -1,0 +1,57 @@
+(* The experiment registry and table rendering. *)
+
+let ids_unique_and_ordered () =
+  let ids = List.map (fun e -> e.Experiments.Registry.id) Experiments.Registry.all in
+  Alcotest.(check int) "nineteen experiments" 19 (List.length ids);
+  Alcotest.(check (list string)) "sorted E1..E19"
+    (List.init 19 (fun i -> Printf.sprintf "E%d" (i + 1)))
+    ids;
+  Alcotest.(check int) "unique" 19 (List.length (List.sort_uniq compare ids))
+
+let find_is_case_insensitive () =
+  (match Experiments.Registry.find "e9" with
+  | Some e -> Alcotest.(check string) "found E9" "E9" e.Experiments.Registry.id
+  | None -> Alcotest.fail "e9 not found");
+  Alcotest.(check bool) "unknown id" true (Experiments.Registry.find "E99" = None)
+
+let table_ok_detects_failures () =
+  let good =
+    {
+      Experiments.Table.id = "T";
+      title = "t";
+      claim = "c";
+      header = [ "a" ];
+      rows = [ [ "yes" ]; [ "1" ] ];
+      notes = [];
+    }
+  in
+  Alcotest.(check bool) "good table" true (Experiments.Table.ok good);
+  let bad = { good with Experiments.Table.rows = [ [ "yes" ]; [ "NO" ] ] } in
+  Alcotest.(check bool) "bad table" false (Experiments.Table.ok bad)
+
+let cells_format () =
+  Alcotest.(check string) "int" "42" (Experiments.Table.cell_int 42);
+  Alcotest.(check string) "float" "3.14" (Experiments.Table.cell_float 3.14159);
+  Alcotest.(check string) "bool true" "yes" (Experiments.Table.cell_bool true);
+  Alcotest.(check string) "bool false" "NO" (Experiments.Table.cell_bool false)
+
+let every_experiment_runs_tiny () =
+  (* Smoke: every registered experiment completes at a minimal trial count
+     and produces at least one row. *)
+  List.iter
+    (fun e ->
+      let t = e.Experiments.Registry.run ~seed:1 ~trials:(Some 2) in
+      Alcotest.(check bool)
+        (e.Experiments.Registry.id ^ " has rows")
+        true
+        (List.length t.Experiments.Table.rows > 0))
+    Experiments.Registry.all
+
+let tests =
+  [
+    Alcotest.test_case "ids unique and ordered" `Quick ids_unique_and_ordered;
+    Alcotest.test_case "find case-insensitive" `Quick find_is_case_insensitive;
+    Alcotest.test_case "table ok detection" `Quick table_ok_detects_failures;
+    Alcotest.test_case "cell formatting" `Quick cells_format;
+    Alcotest.test_case "every experiment runs" `Slow every_experiment_runs_tiny;
+  ]

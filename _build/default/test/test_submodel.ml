@@ -1,0 +1,98 @@
+(* The submodel relation of Section 2 (E13): exhaustive checks at n = 3 and
+   sampled checks at larger sizes. *)
+
+module P = Rrfd.Predicate
+module S = Rrfd.Submodel
+
+let implies name a b =
+  match S.check_exhaustive ~n:3 ~rounds:2 a b with
+  | S.Implies -> ()
+  | S.Counterexample h ->
+    Alcotest.failf "%s: unexpected counterexample:@ %a" name
+      Rrfd.Fault_history.pp h
+
+let refuted name a b =
+  match S.check_exhaustive ~n:3 ~rounds:2 a b with
+  | S.Counterexample _ -> ()
+  | S.Implies -> Alcotest.failf "%s: expected a counterexample" name
+
+let lattice_positive () =
+  implies "crash ⇒ omission" (P.crash ~f:1) (P.omission ~f:1);
+  implies "omission ⇒ async (same f)" (P.omission ~f:1) (P.async_resilient ~f:1);
+  implies "snapshot ⇒ shm" (P.snapshot ~f:1) (P.shared_memory ~f:1);
+  implies "shm ⇒ async" (P.shared_memory ~f:1) (P.async_resilient ~f:1);
+  implies "identical ⇒ k-set(1)" P.identical_views (P.k_set ~k:1);
+  implies "k-set(1) ⇒ k-set(2)" (P.k_set ~k:1) (P.k_set ~k:2);
+  implies "async(1) ⇒ async(2)" (P.async_resilient ~f:1) (P.async_resilient ~f:2);
+  implies "async(f) ⇒ mixed(f,t)" (P.async_resilient ~f:1) (P.async_mixed ~f:1 ~t:2);
+  implies "omission(f = n−1) ⇒ detector-S" (P.omission ~f:2) P.detector_s;
+  implies "snapshot ⇒ not-all-faulty" (P.snapshot ~f:2) P.not_all_faulty
+
+let lattice_negative () =
+  refuted "omission ⇏ crash" (P.omission ~f:1) (P.crash ~f:1);
+  refuted "async ⇏ omission" (P.async_resilient ~f:1) (P.omission ~f:1);
+  refuted "async ⇏ shm" (P.async_resilient ~f:1) (P.shared_memory ~f:1);
+  refuted "shm ⇏ snapshot" (P.shared_memory ~f:1) (P.snapshot ~f:1);
+  refuted "k-set(2) ⇏ k-set(1)" (P.k_set ~k:2) (P.k_set ~k:1);
+  refuted "mixed(f,t) ⇏ async(f)" (P.async_mixed ~f:1 ~t:2) (P.async_resilient ~f:1);
+  refuted "antisym alone ⇏ someone-seen-by-all"
+    (P.conj (P.async_resilient ~f:2) P.antisymmetric_misses)
+    P.someone_seen_by_all
+
+(* The paper's item-6 equivalence: the detector-S predicate equals
+   |∪∪D| < n, i.e. omission with f = n − 1. *)
+let detector_s_equals_wait_free_omission () =
+  let omission_wait_free =
+    P.make ~name:"cumulative<n" ~doc:"|∪∪D| < n" (fun h ->
+        if
+          Rrfd.Pset.cardinal (Rrfd.Fault_history.cumulative_union h)
+          < Rrfd.Fault_history.n h
+        then None
+        else Some "union covers everyone")
+  in
+  implies "S ⇒ |∪∪D| < n" P.detector_s omission_wait_free;
+  implies "|∪∪D| < n ⇒ S" omission_wait_free P.detector_s
+
+let sampled_agrees_with_exhaustive () =
+  let rng = Dsim.Rng.create 17 in
+  (* positive direction on a bigger system *)
+  (match
+     S.check_sampled rng ~samples:300 ~rounds:3
+       ~gen:(fun rng -> Rrfd.Detector_gen.crash rng ~n:6 ~f:2)
+       ~n:6 (P.crash ~f:2) (P.omission ~f:2)
+   with
+  | S.Implies -> ()
+  | S.Counterexample _ -> Alcotest.fail "crash ⇒ omission refuted by sampling");
+  (* negative direction found by sampling *)
+  match
+    S.check_sampled rng ~samples:300 ~rounds:3
+      ~gen:(fun rng -> Rrfd.Detector_gen.omission rng ~n:6 ~f:2)
+      ~n:6 (P.omission ~f:2) (P.crash ~f:2)
+  with
+  | S.Counterexample _ -> ()
+  | S.Implies -> Alcotest.fail "sampling missed an easy counterexample"
+
+let model_generators_match_their_predicates () =
+  (* Every packaged model's canonical generator satisfies its own predicate. *)
+  let rng = Dsim.Rng.create 23 in
+  List.iter
+    (fun m ->
+      match
+        S.check_sampled rng ~samples:100 ~rounds:3
+          ~gen:m.Rrfd.Model.generator ~n:5 Rrfd.Predicate.always
+          m.Rrfd.Model.predicate
+      with
+      | S.Implies -> ()
+      | S.Counterexample h ->
+        Alcotest.failf "%s: generator broke its predicate:@ %a"
+          m.Rrfd.Model.name Rrfd.Fault_history.pp h)
+    (Rrfd.Model.all ~n:5 ~f:2)
+
+let tests =
+  [
+    Alcotest.test_case "lattice positive edges" `Slow lattice_positive;
+    Alcotest.test_case "lattice refuted edges" `Slow lattice_negative;
+    Alcotest.test_case "item 6 equivalence" `Slow detector_s_equals_wait_free_omission;
+    Alcotest.test_case "sampled checks" `Quick sampled_agrees_with_exhaustive;
+    Alcotest.test_case "model generators" `Quick model_generators_match_their_predicates;
+  ]
