@@ -139,6 +139,18 @@ let bench_phased_consensus n =
                 ~f:(n - 1) ~stabilize_at)
            ()))
 
+(* One whole (serial) campaign per run: measures the per-trial overhead the
+   Runtime layer adds on top of the raw engine loop above. *)
+let bench_campaign_kset n =
+  Staged.stage (fun () ->
+      ignore
+        (Runtime.Campaign.run ~jobs:1 ~seed ~trials:32 (fun ~trial:_ ~rng ->
+             let inputs = Tasks.Inputs.distinct n in
+             let detector = Rrfd.Detector_gen.k_set rng ~n ~k:2 in
+             Rrfd.Engine.run ~n
+               ~algorithm:(Rrfd.Kset.one_round ~inputs)
+               ~detector ())))
+
 let bench_sync_flood n =
   let rng = Dsim.Rng.create seed in
   Staged.stage (fun () ->
@@ -181,6 +193,8 @@ let tests =
         bench_safe_agreement;
       Test.make_indexed ~name:"phased-consensus" ~fmt:"%s n=%d" ~args:[ 4; 8 ]
         bench_phased_consensus;
+      Test.make_indexed ~name:"campaign-kset-32-trials" ~fmt:"%s n=%d"
+        ~args:[ 8; 16 ] bench_campaign_kset;
     ]
 
 let run_timing () =
@@ -216,18 +230,52 @@ let run_tables () =
   Printf.printf "=== experiment tables (reduced trial counts) ===\n%!";
   let tables =
     List.map
-      (fun e -> e.Experiments.Registry.run ~seed ~trials:(Some 50))
+      (fun e -> e.Experiments.Registry.run ~seed ~trials:(Some 50) ~jobs:None)
       Experiments.Registry.all
   in
   List.iter Experiments.Table.print tables;
   List.filter (fun t -> not (Experiments.Table.ok t)) tables
 
+(* Serial-vs-parallel wall clock for a campaign-backed experiment, with the
+   determinism contract checked on the spot: the two tables must be equal
+   cell for cell. *)
+let run_speedup () =
+  let jobs = Runtime.Pool.recommended_jobs () in
+  Printf.printf "\n=== campaign speedup (E6, %d cores recommended) ===\n%!" jobs;
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let trials = 1500 in
+  let serial, t_serial =
+    wall (fun () -> Experiments.E06_kset_one_round.run ~seed ~trials ~jobs:1 ())
+  in
+  let parallel, t_parallel =
+    wall (fun () -> Experiments.E06_kset_one_round.run ~seed ~trials ~jobs ())
+  in
+  let identical = serial = parallel in
+  Printf.printf
+    "  E6 x%d trials: serial %.3fs, -j %d %.3fs, speedup %.2fx, tables \
+     identical: %s\n"
+    trials t_serial jobs t_parallel
+    (t_serial /. t_parallel)
+    (if identical then "yes" else "NO");
+  if jobs < 4 then
+    Printf.printf
+      "  (fewer than 4 cores: speedup is not expected to clear 1.5x here)\n";
+  identical
+
 let () =
   let failed = run_tables () in
   run_timing ();
-  match failed with
-  | [] -> Printf.printf "\nbench: all experiment tables OK\n"
-  | failed ->
-    Printf.printf "\nbench: FAILED tables: %s\n"
-      (String.concat ", " (List.map (fun t -> t.Experiments.Table.id) failed));
+  let deterministic = run_speedup () in
+  match (failed, deterministic) with
+  | [], true -> Printf.printf "\nbench: all experiment tables OK\n"
+  | failed, deterministic ->
+    if not deterministic then
+      Printf.printf "\nbench: serial and parallel E6 tables DIFFER\n";
+    if failed <> [] then
+      Printf.printf "\nbench: FAILED tables: %s\n"
+        (String.concat ", " (List.map (fun t -> t.Experiments.Table.id) failed));
     exit 1

@@ -3,7 +3,7 @@
    `rrfd-experiments list`            enumerate experiments
    `rrfd-experiments run E6 E9`       run selected experiments
    `rrfd-experiments all`             run everything
-   options: --seed, --trials *)
+   options: --seed, --trials, -j/--jobs *)
 
 open Cmdliner
 
@@ -18,6 +18,14 @@ let seed_arg =
 let trials_arg =
   let doc = "Override the per-configuration trial count." in
   Arg.(value & opt (some int) None & info [ "trials" ] ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for Monte-Carlo campaigns (default: all cores).  \
+     Tables are bit-identical for every value: trial RNGs derive from \
+     (seed, trial index), so -j only changes wall-clock time."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc)
 
 let list_cmd =
   let run () =
@@ -53,7 +61,7 @@ let run_cmd =
     let doc = "Experiment ids to run (e.g. E6 e9)." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run seed trials ids =
+  let run seed trials jobs ids =
     setup_logs ();
     let entries =
       List.map
@@ -66,21 +74,23 @@ let run_cmd =
         ids
     in
     run_tables
-      (List.map (fun e -> e.Experiments.Registry.run ~seed ~trials) entries)
+      (List.map
+         (fun e -> e.Experiments.Registry.run ~seed ~trials ~jobs)
+         entries)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run selected experiments.")
-    Term.(const run $ seed_arg $ trials_arg $ ids_arg)
+    Term.(const run $ seed_arg $ trials_arg $ jobs_arg $ ids_arg)
 
 let all_cmd =
-  let run seed trials =
+  let run seed trials jobs =
     setup_logs ();
     run_tables
       (List.map
-         (fun e -> e.Experiments.Registry.run ~seed ~trials)
+         (fun e -> e.Experiments.Registry.run ~seed ~trials ~jobs)
          Experiments.Registry.all)
   in
-  Cmd.v (Cmd.info "all" ~doc:"Run every experiment (E1-E14).")
-    Term.(const run $ seed_arg $ trials_arg)
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment (E1-E19).")
+    Term.(const run $ seed_arg $ trials_arg $ jobs_arg)
 
 (* `lattice` — print the submodel relation between two named predicates at
    a configurable (small) system size. *)

@@ -1,46 +1,54 @@
-(* E6 — Theorem 3.1: one-round k-set agreement under the k-set detector. *)
+(* E6 — Theorem 3.1: one-round k-set agreement under the k-set detector.
 
-let run ?(seed = 6) ?(trials = 500) () =
-  let rng = Dsim.Rng.create seed in
-  let rows = ref [] in
+   The trial loop is a Runtime.Campaign: each trial draws its RNG from
+   (seed, case, trial) so the table is identical for every -j. *)
+
+let run ?(seed = 6) ?(trials = 500) ?jobs () =
   let cases =
     [ (4, 1); (4, 2); (4, 3); (8, 1); (8, 3); (8, 7); (16, 2); (16, 5); (24, 4) ]
   in
-  List.iter
-    (fun (n, k) ->
-      let max_distinct = ref 0 and failures = ref 0 and rounds_bad = ref 0 in
-      for _ = 1 to trials do
-        let trial_rng = Dsim.Rng.split rng in
-        let inputs = Tasks.Inputs.distinct n in
-        let detector = Rrfd.Detector_gen.k_set trial_rng ~n ~k in
-        let outcome =
-          Rrfd.Engine.run ~n
-            ~check:(Rrfd.Predicate.k_set ~k)
-            ~algorithm:(Rrfd.Kset.one_round ~inputs) ~detector ()
+  let rows =
+    List.mapi
+      (fun case_idx (n, k) ->
+        let obs =
+          Runtime.Campaign.run ?jobs
+            ~seed:(Dsim.Rng.derive_seed seed case_idx)
+            ~trials
+            (fun ~trial:_ ~rng ->
+              let inputs = Tasks.Inputs.distinct n in
+              let detector = Rrfd.Detector_gen.k_set rng ~n ~k in
+              let outcome =
+                Rrfd.Engine.run ~n
+                  ~check:(Rrfd.Predicate.k_set ~k)
+                  ~algorithm:(Rrfd.Kset.one_round ~inputs) ~detector ()
+              in
+              let distinct =
+                Tasks.Agreement.distinct_decisions
+                  ~decisions:outcome.Rrfd.Engine.decisions
+              in
+              let failed =
+                Tasks.Agreement.check ~k ~inputs outcome.Rrfd.Engine.decisions
+                <> None
+              in
+              (distinct, failed, outcome.Rrfd.Engine.rounds_used <> 1))
         in
-        if outcome.Rrfd.Engine.rounds_used <> 1 then incr rounds_bad;
-        let distinct =
-          Tasks.Agreement.distinct_decisions
-            ~decisions:outcome.Rrfd.Engine.decisions
+        let max_distinct =
+          Array.fold_left (fun m (d, _, _) -> max m d) 0 obs
         in
-        max_distinct := max !max_distinct distinct;
-        if
-          Tasks.Agreement.check ~k ~inputs outcome.Rrfd.Engine.decisions
-          <> None
-        then incr failures
-      done;
-      rows :=
+        let count p = Array.fold_left (fun c o -> if p o then c + 1 else c) 0 obs in
+        let failures = count (fun (_, f, _) -> f) in
+        let rounds_bad = count (fun (_, _, r) -> r) in
         [
           Table.cell_int n;
           Table.cell_int k;
           Table.cell_int trials;
-          Table.cell_int !max_distinct;
-          Table.cell_int !failures;
-          Table.cell_int !rounds_bad;
-          Table.cell_bool (!failures = 0 && !rounds_bad = 0 && !max_distinct <= k);
-        ]
-        :: !rows)
-    cases;
+          Table.cell_int max_distinct;
+          Table.cell_int failures;
+          Table.cell_int rounds_bad;
+          Table.cell_bool (failures = 0 && rounds_bad = 0 && max_distinct <= k);
+        ])
+      cases
+  in
   {
     Table.id = "E6";
     title = "one-round k-set agreement (Theorem 3.1)";
@@ -50,6 +58,6 @@ let run ?(seed = 6) ?(trials = 500) () =
        exactly one round";
     header =
       [ "n"; "k"; "trials"; "max-distinct"; "task-fails"; "extra-rounds"; "ok" ];
-    rows = List.rev !rows;
+    rows;
     notes = [ "max-distinct ≤ k is the agreement bound; 0 task-fails = validity+termination also hold" ];
   }

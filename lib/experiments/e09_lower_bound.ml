@@ -1,7 +1,11 @@
 (* E9 — Corollaries 4.2 / 4.4: k-set agreement in a synchronous system
    with f crash (or omission) faults needs ⌊f/k⌋ + 1 rounds.  The chain
    adversary forces k+1 distinct values from min-flooding at every horizon
-   up to ⌊f/k⌋; at ⌊f/k⌋ + 1 the same adversary is powerless. *)
+   up to ⌊f/k⌋; at ⌊f/k⌋ + 1 the same adversary is powerless.
+
+   Every (case, fault model, horizon) cell is an independent deterministic
+   unit, so the table is a Runtime.Campaign.map over the flattened case
+   list — rows come back in order regardless of -j. *)
 
 let distinct_live result =
   Tasks.Agreement.distinct_decisions
@@ -11,56 +15,59 @@ let distinct_live result =
            if Rrfd.Pset.mem i result.Syncnet.Sync_net.crashed then None else d)
          result.Syncnet.Sync_net.decisions)
 
-let run ?(seed = 9) ?(trials = 1) () =
-  ignore seed;
+let run ?(seed = 9) ?(trials = 1) ?jobs () =
   ignore trials;
-  let rows = ref [] in
   let cases = [ (1, 3); (2, 2); (2, 3); (3, 2); (4, 2) ] in
-  List.iter
-    (fun (k, chain_rounds) ->
-      let f = k * chain_rounds in
-      let n = Adversary.Lower_bound.required_processes ~k ~rounds:chain_rounds in
-      let bound = (f / k) + 1 in
-      List.iter
-        (fun fault_model ->
-          for horizon = 1 to bound do
-            let adv = Adversary.Lower_bound.build ~n ~k ~rounds:chain_rounds in
-            let pattern =
-              match fault_model with
-              | `Crash ->
-                Syncnet.Faults.crash ~n adv.Adversary.Lower_bound.crash_specs
-              | `Omission ->
-                Syncnet.Faults.omission ~n
-                  ~faulty:(Adversary.Lower_bound.omission_faulty adv)
-                  ~drops:(fun ~round ~sender ->
-                    Adversary.Lower_bound.omission_drops adv ~round ~sender)
-            in
-            let result =
-              Syncnet.Sync_net.run ~n ~rounds:horizon ~pattern
-                ~algorithm:
-                  (Syncnet.Flood.min_flood
-                     ~inputs:adv.Adversary.Lower_bound.inputs ~horizon)
-                ()
-            in
-            let distinct = distinct_live result in
-            let at_bound = horizon = bound in
-            let expected = if at_bound then distinct <= k else distinct > k in
-            rows :=
-              [
-                (match fault_model with `Crash -> "crash" | `Omission -> "omission");
-                Table.cell_int n;
-                Table.cell_int k;
-                Table.cell_int f;
-                Table.cell_int horizon;
-                Table.cell_int distinct;
-                (if at_bound then Printf.sprintf "≤ %d (solves)" k
-                 else Printf.sprintf "> %d (broken)" k);
-                Table.cell_bool expected;
-              ]
-              :: !rows
-          done)
-        [ `Crash; `Omission ])
-    cases;
+  let units =
+    List.concat_map
+      (fun (k, chain_rounds) ->
+        let f = k * chain_rounds in
+        let bound = (f / k) + 1 in
+        List.concat_map
+          (fun fault_model ->
+            List.init bound (fun h -> (k, chain_rounds, fault_model, h + 1)))
+          [ `Crash; `Omission ])
+      cases
+  in
+  let rows =
+    Runtime.Campaign.map ?jobs ~seed units
+      (fun ~index:_ ~rng:_ (k, chain_rounds, fault_model, horizon) ->
+        let f = k * chain_rounds in
+        let n = Adversary.Lower_bound.required_processes ~k ~rounds:chain_rounds in
+        let bound = (f / k) + 1 in
+        let adv = Adversary.Lower_bound.build ~n ~k ~rounds:chain_rounds in
+        let pattern =
+          match fault_model with
+          | `Crash ->
+            Syncnet.Faults.crash ~n adv.Adversary.Lower_bound.crash_specs
+          | `Omission ->
+            Syncnet.Faults.omission ~n
+              ~faulty:(Adversary.Lower_bound.omission_faulty adv)
+              ~drops:(fun ~round ~sender ->
+                Adversary.Lower_bound.omission_drops adv ~round ~sender)
+        in
+        let result =
+          Syncnet.Sync_net.run ~n ~rounds:horizon ~pattern
+            ~algorithm:
+              (Syncnet.Flood.min_flood
+                 ~inputs:adv.Adversary.Lower_bound.inputs ~horizon)
+            ()
+        in
+        let distinct = distinct_live result in
+        let at_bound = horizon = bound in
+        let expected = if at_bound then distinct <= k else distinct > k in
+        [
+          (match fault_model with `Crash -> "crash" | `Omission -> "omission");
+          Table.cell_int n;
+          Table.cell_int k;
+          Table.cell_int f;
+          Table.cell_int horizon;
+          Table.cell_int distinct;
+          (if at_bound then Printf.sprintf "≤ %d (solves)" k
+           else Printf.sprintf "> %d (broken)" k);
+          Table.cell_bool expected;
+        ])
+  in
   {
     Table.id = "E9";
     title = "⌊f/k⌋ + 1 round lower bound for synchronous k-set agreement";
@@ -71,7 +78,7 @@ let run ?(seed = 9) ?(trials = 1) () =
        and regains it exactly at the bound — for crash and send-omission \
        faults alike";
     header = [ "faults"; "n"; "k"; "f"; "rounds"; "distinct"; "expected"; "ok" ];
-    rows = List.rev !rows;
+    rows;
     notes =
       [
         "distinct = decisions among live processes; the crossover row per \

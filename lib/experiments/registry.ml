@@ -1,15 +1,17 @@
 type entry = {
   id : string;
   title : string;
-  run : seed:int -> trials:int option -> Table.t;
+  run : seed:int -> trials:int option -> jobs:int option -> Table.t;
 }
 
 let default_seed = 0
 
-let wrap f ~seed ~trials =
-  match trials with
-  | None -> f ?seed:(Some seed) ?trials:None ()
-  | Some t -> f ?seed:(Some seed) ?trials:(Some t) ()
+(* Serial experiments ignore [jobs]; campaign-backed ones fan their trials
+   out over that many domains (None = all cores) with the table guaranteed
+   identical either way. *)
+let wrap f ~seed ~trials ~jobs:_ = f ?seed:(Some seed) ?trials ()
+
+let wrap_campaign f ~seed ~trials ~jobs = f ?seed:(Some seed) ?trials ?jobs ()
 
 let all =
   [
@@ -37,7 +39,7 @@ let all =
     {
       id = "E6";
       title = "one-round k-set agreement (Thm 3.1)";
-      run = wrap E06_kset_one_round.run;
+      run = wrap_campaign E06_kset_one_round.run;
     };
     {
       id = "E7";
@@ -52,7 +54,7 @@ let all =
     {
       id = "E9";
       title = "round lower bound (Cor 4.2/4.4)";
-      run = wrap E09_lower_bound.run;
+      run = wrap_campaign E09_lower_bound.run;
     };
     {
       id = "E10";
@@ -62,7 +64,7 @@ let all =
     {
       id = "E11";
       title = "crash-fault simulation (Thm 4.3)";
-      run = wrap E11_crash_simulation.run;
+      run = wrap_campaign E11_crash_simulation.run;
     };
     {
       id = "E12";
@@ -77,7 +79,7 @@ let all =
     {
       id = "E14";
       title = "known-by-all conjecture (item 4)";
-      run = wrap E14_conjecture.run;
+      run = wrap_campaign E14_conjecture.run;
     };
     {
       id = "E15";
@@ -110,5 +112,5 @@ let find id =
   let target = String.lowercase_ascii id in
   List.find_opt (fun e -> String.lowercase_ascii e.id = target) all
 
-let run_all ?(seed = default_seed) () =
-  List.map (fun e -> e.run ~seed ~trials:None) all
+let run_all ?(seed = default_seed) ?jobs () =
+  List.map (fun e -> e.run ~seed ~trials:None ~jobs) all

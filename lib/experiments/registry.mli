@@ -3,8 +3,11 @@
 type entry = {
   id : string;
   title : string;
-  run : seed:int -> trials:int option -> Table.t;
+  run : seed:int -> trials:int option -> jobs:int option -> Table.t;
 }
+(** [jobs] is the campaign worker-domain count ([None] = all cores); it
+    never changes a table, only how fast it is produced.  Serial
+    experiments ignore it. *)
 
 val all : entry list
 (** E1 through E19, in order. *)
@@ -14,4 +17,4 @@ val find : string -> entry option
 
 val default_seed : int
 
-val run_all : ?seed:int -> unit -> Table.t list
+val run_all : ?seed:int -> ?jobs:int -> unit -> Table.t list

@@ -1,0 +1,11 @@
+let run ?jobs ~seed ~trials f =
+  Pool.map_range ?jobs ~n:trials (fun i ->
+      f ~trial:i ~rng:(Dsim.Rng.derive ~seed ~stream:i))
+
+let run_stats ?jobs ~seed ~trials f = Stats.of_array (run ?jobs ~seed ~trials f)
+
+let map ?jobs ~seed items f =
+  let items = Array.of_list items in
+  Pool.map_range ?jobs ~n:(Array.length items) (fun i ->
+      f ~index:i ~rng:(Dsim.Rng.derive ~seed ~stream:i) items.(i))
+  |> Array.to_list

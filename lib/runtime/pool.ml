@@ -1,0 +1,58 @@
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+(* Hand out [0, n) in chunks through a shared cursor.  The calling domain
+   participates as a worker, so [jobs] counts it: jobs = 4 spawns 3.  Every
+   worker runs [body start stop] on disjoint chunks; exceptions are collected
+   and the first one re-raised only after every domain has been joined, so a
+   failing trial can never leak a running domain. *)
+let run_chunked ~jobs ~n body =
+  let workers = min jobs n in
+  if workers <= 1 then (if n > 0 then body 0 n)
+  else begin
+    (* Chunks several times smaller than a fair share keep domains busy when
+       per-index cost is uneven, without contending on the cursor per index. *)
+    let chunk = max 1 (n / (workers * 8)) in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let start = Atomic.fetch_and_add cursor chunk in
+        if start < n then begin
+          body start (min n (start + chunk));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let first_exn = ref None in
+    let record e = if !first_exn = None then first_exn := Some e in
+    let domains = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    (try worker () with e -> record e);
+    Array.iter (fun d -> try Domain.join d with e -> record e) domains;
+    match !first_exn with Some e -> raise e | None -> ()
+  end
+
+let map_range ?jobs ~n f =
+  let jobs = match jobs with Some j -> j | None -> recommended_jobs () in
+  if n <= 0 then [||]
+  else if jobs <= 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    run_chunked ~jobs ~n (fun start stop ->
+        for i = start to stop - 1 do
+          results.(i) <- Some (f i)
+        done);
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let iter_range ?jobs ~n f =
+  let jobs = match jobs with Some j -> j | None -> recommended_jobs () in
+  if n <= 0 then ()
+  else if jobs <= 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else
+    run_chunked ~jobs ~n (fun start stop ->
+        for i = start to stop - 1 do
+          f i
+        done)

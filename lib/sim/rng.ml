@@ -9,6 +9,16 @@ let mix64 z =
 
 let create seed = { state = mix64 (Int64.of_int seed) }
 
+let derive_seed seed stream =
+  let z =
+    Int64.logxor
+      (mix64 (Int64.of_int seed))
+      (Int64.mul golden_gamma (Int64.of_int (stream + 1)))
+  in
+  Int64.to_int (mix64 z)
+
+let derive ~seed ~stream = create (derive_seed seed stream)
+
 let copy t = { state = t.state }
 
 let next_state t =

@@ -17,6 +17,17 @@ val create : int -> t
 val copy : t -> t
 (** [copy t] is an independent stream with the same current state as [t]. *)
 
+val derive_seed : int -> int -> int
+(** [derive_seed seed stream] deterministically mixes [seed] with a stream
+    index into a fresh seed.  Distinct [(seed, stream)] pairs map to
+    statistically unrelated seeds, so parallel workers can each be handed
+    [derive_seed seed i] without coordinating on shared RNG state — the
+    foundation of order-independent (and therefore [-j]-independent)
+    Monte-Carlo campaigns. *)
+
+val derive : seed:int -> stream:int -> t
+(** [derive ~seed ~stream] is [create (derive_seed seed stream)]. *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a new stream whose subsequent outputs
     are statistically independent of [t]'s. *)

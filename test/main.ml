@@ -28,4 +28,5 @@ let () =
       ("bg-simulation", Test_bg.tests);
       ("snapshot-stress", Test_snapshot_stress.tests);
       ("registry", Test_registry.tests);
+      ("runtime", Test_runtime.tests);
     ]

@@ -51,6 +51,50 @@ let rng_shuffle_permutes () =
   let shuffled = Rng.shuffle rng l in
   Alcotest.(check (list int)) "same multiset" l (List.sort compare shuffled)
 
+(* Build the next [n] outputs in stream order (List.init's evaluation order
+   is not something to rely on for a stateful generator). *)
+let take n rng =
+  let rec go acc k = if k = 0 then List.rev acc else go (Rng.int64 rng :: acc) (k - 1) in
+  go [] n
+
+let common_prefix_len a b =
+  let rec go n = function
+    | x :: xs, y :: ys when x = y -> go (n + 1) (xs, ys)
+    | _ -> n
+  in
+  go 0 (a, b)
+
+(* Split-stream independence smoke test: a child stream must diverge from
+   its parent immediately — any long shared prefix would mean trials of a
+   campaign see correlated randomness. *)
+let rng_split_streams_independent =
+  QCheck.Test.make ~name:"split child shares no prefix with parent" ~count:500
+    QCheck.int (fun seed ->
+      let parent = Rng.create seed in
+      let child = Rng.split parent in
+      common_prefix_len (take 16 parent) (take 16 child) = 0)
+
+let rng_derived_streams_independent =
+  QCheck.Test.make ~name:"derived streams pairwise diverge" ~count:200
+    QCheck.(pair int (int_range 0 1000))
+    (fun (seed, stream) ->
+      let a = Rng.derive ~seed ~stream in
+      let b = Rng.derive ~seed ~stream:(stream + 1) in
+      let same_seed_again = Rng.derive ~seed ~stream in
+      let sa = take 16 a in
+      common_prefix_len sa (take 16 b) = 0 && sa = take 16 same_seed_again)
+
+let rng_sample_invariants =
+  QCheck.Test.make ~name:"sample_without_replacement invariants" ~count:500
+    QCheck.(triple int (int_range 0 40) (int_range 0 40))
+    (fun (seed, n, k) ->
+      let k = min k n in
+      let rng = Rng.create seed in
+      let sample = Rng.sample_without_replacement rng k n in
+      List.length sample = k
+      && List.sort_uniq compare sample = sample
+      && List.for_all (fun v -> v >= 0 && v < n) sample)
+
 let heap_orders () =
   let h = Heap.create () in
   let rng = Rng.create 5 in
@@ -117,3 +161,9 @@ let tests =
     Alcotest.test_case "sim until/budget" `Quick sim_until_and_budget;
     Alcotest.test_case "sim rejects past" `Quick sim_rejects_past;
   ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        rng_split_streams_independent;
+        rng_derived_streams_independent;
+        rng_sample_invariants;
+      ]

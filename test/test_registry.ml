@@ -40,7 +40,7 @@ let every_experiment_runs_tiny () =
      and produces at least one row. *)
   List.iter
     (fun e ->
-      let t = e.Experiments.Registry.run ~seed:1 ~trials:(Some 2) in
+      let t = e.Experiments.Registry.run ~seed:1 ~trials:(Some 2) ~jobs:(Some 1) in
       Alcotest.(check bool)
         (e.Experiments.Registry.id ^ " has rows")
         true
