@@ -2,17 +2,68 @@
 
    Two parts, both printed on every run:
 
-   1. The experiment tables E1-E17 — one per claim of the paper (the paper
+   1. The experiment tables E1-E19 — one per claim of the paper (the paper
       has no numeric tables of its own; these are its theorems rendered as
       measurable artifacts).  Trial counts are reduced here to keep the
       harness quick; `rrfd-experiments all` runs the full versions.
    2. Bechamel micro-benchmarks of the building blocks (one Test.make per
-      subsystem), reporting estimated time per operation. *)
+      subsystem), reporting estimated time per operation.
+
+   Telemetry: `--json PATH` additionally writes everything measured as a
+   BENCH json (schema in lib/report and README.md); `--check BASELINE
+   [--tolerance PCT]` compares the fresh run against a saved report and
+   exits non-zero on a timing regression beyond tolerance or a table that
+   was passing in the baseline and fails now.  `--trials`,
+   `--speedup-trials` and `--quota` shrink the run for CI smoke jobs. *)
+
+(* The raw OS monotonic clock (ns since an arbitrary origin).  Bound before
+   the opens: Toolkit exports a measure module of the same name. *)
+module Mclock = Monotonic_clock
 
 open Bechamel
 open Toolkit
 
 let seed = 0
+
+(* CLI ---------------------------------------------------------------- *)
+
+let json_path = ref None
+let check_path = ref None
+let tolerance = ref 50.0
+let table_trials = ref 50
+let speedup_trials = ref 1500
+let quota = ref 0.25
+
+let () =
+  let spec =
+    [
+      ( "--json",
+        Arg.String (fun p -> json_path := Some p),
+        "PATH  write the run's telemetry as BENCH json (PATH `auto` names \
+         it BENCH_<shortsha>.json)" );
+      ( "--check",
+        Arg.String (fun p -> check_path := Some p),
+        "BASELINE.json  compare this run against a saved report; exit \
+         non-zero on regression" );
+      ( "--tolerance",
+        Arg.Set_float tolerance,
+        "PCT  allowed ns/run slowdown before --check fails (default 50)" );
+      ( "--trials",
+        Arg.Set_int table_trials,
+        "N  per-configuration trial count for the experiment tables \
+         (default 50)" );
+      ( "--speedup-trials",
+        Arg.Set_int speedup_trials,
+        "N  E6 trial count for the serial-vs-parallel check (default 1500)" );
+      ( "--quota",
+        Arg.Set_float quota,
+        "SECS  bechamel time budget per subject (default 0.25)" );
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "bench [--json PATH] [--check BASELINE.json] [--tolerance PCT] [--trials \
+     N] [--speedup-trials N] [--quota SECS]"
 
 (* -------------------------------------------------------------------- *)
 (* Micro-benchmark subjects.                                             *)
@@ -197,9 +248,11 @@ let tests =
         ~args:[ 8; 16 ] bench_campaign_kset;
     ]
 
+(* Returns the (name, ns/run) estimates alongside the printed listing, so
+   the telemetry layer can export exactly what was shown. *)
 let run_timing () =
   Printf.printf "\n=== micro-benchmarks (estimated time per run) ===\n%!";
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second !quota) ~kde:None () in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -224,30 +277,35 @@ let run_timing () =
       else if nanos > 1_000.0 then
         Printf.printf "  %-40s %10.3f us/run\n" name (nanos /. 1_000.0)
       else Printf.printf "  %-40s %10.1f ns/run\n" name nanos)
-    rows
+    rows;
+  rows
 
 let run_tables () =
   Printf.printf "=== experiment tables (reduced trial counts) ===\n%!";
   let tables =
     List.map
-      (fun e -> e.Experiments.Registry.run ~seed ~trials:(Some 50) ~jobs:None)
+      (fun e ->
+        e.Experiments.Registry.run ~seed ~trials:(Some !table_trials)
+          ~jobs:None)
       Experiments.Registry.all
   in
   List.iter Experiments.Table.print tables;
-  List.filter (fun t -> not (Experiments.Table.ok t)) tables
+  tables
 
 (* Serial-vs-parallel wall clock for a campaign-backed experiment, with the
    determinism contract checked on the spot: the two tables must be equal
-   cell for cell. *)
+   cell for cell.  Timed with the monotonic clock — NTP slews and
+   wall-clock jumps must not skew a determinism/speedup verdict. *)
 let run_speedup () =
   let jobs = Runtime.Pool.recommended_jobs () in
   Printf.printf "\n=== campaign speedup (E6, %d cores recommended) ===\n%!" jobs;
   let wall f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Mclock.now () in
     let r = f () in
-    (r, Unix.gettimeofday () -. t0)
+    let t1 = Mclock.now () in
+    (r, Int64.to_float (Int64.sub t1 t0) /. 1e9)
   in
-  let trials = 1500 in
+  let trials = !speedup_trials in
   let serial, t_serial =
     wall (fun () -> Experiments.E06_kset_one_round.run ~seed ~trials ~jobs:1 ())
   in
@@ -255,27 +313,100 @@ let run_speedup () =
     wall (fun () -> Experiments.E06_kset_one_round.run ~seed ~trials ~jobs ())
   in
   let identical = serial = parallel in
+  let factor = t_serial /. t_parallel in
   Printf.printf
     "  E6 x%d trials: serial %.3fs, -j %d %.3fs, speedup %.2fx, tables \
      identical: %s\n"
-    trials t_serial jobs t_parallel
-    (t_serial /. t_parallel)
+    trials t_serial jobs t_parallel factor
     (if identical then "yes" else "NO");
   if jobs < 4 then
     Printf.printf
       "  (fewer than 4 cores: speedup is not expected to clear 1.5x here)\n";
-  identical
+  {
+    Report.trials;
+    jobs;
+    serial_s = t_serial;
+    parallel_s = t_parallel;
+    factor;
+    identical;
+  }
+
+(* Telemetry ---------------------------------------------------------- *)
+
+let git_short_sha () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let build_report ~subjects ~tables ~speedup =
+  {
+    Report.version = Report.version;
+    meta =
+      {
+        Report.seed;
+        jobs = Runtime.Pool.recommended_jobs ();
+        git_sha = git_short_sha ();
+        hostname = (try Unix.gethostname () with _ -> "unknown");
+      };
+    subjects =
+      List.map
+        (fun (name, nanos) -> { Report.name; ns_per_run = nanos })
+        subjects;
+    tables =
+      List.map
+        (fun t ->
+          {
+            Report.id = t.Experiments.Table.id;
+            title = t.Experiments.Table.title;
+            ok = Experiments.Table.ok t;
+            counters =
+              List.map
+                (fun (label, s) -> (label, Report.stat_of_stats s))
+                t.Experiments.Table.counters;
+          })
+        tables;
+    speedup = Some speedup;
+  }
 
 let () =
-  let failed = run_tables () in
-  run_timing ();
-  let deterministic = run_speedup () in
-  match (failed, deterministic) with
-  | [], true -> Printf.printf "\nbench: all experiment tables OK\n"
-  | failed, deterministic ->
-    if not deterministic then
-      Printf.printf "\nbench: serial and parallel E6 tables DIFFER\n";
-    if failed <> [] then
-      Printf.printf "\nbench: FAILED tables: %s\n"
-        (String.concat ", " (List.map (fun t -> t.Experiments.Table.id) failed));
-    exit 1
+  let tables = run_tables () in
+  let failed = List.filter (fun t -> not (Experiments.Table.ok t)) tables in
+  let subjects = run_timing () in
+  let speedup = run_speedup () in
+  let report = build_report ~subjects ~tables ~speedup in
+  Option.iter
+    (fun path ->
+      let path =
+        if path = "auto" then
+          Printf.sprintf "BENCH_%s.json" report.Report.meta.Report.git_sha
+        else path
+      in
+      Report.save path report;
+      Printf.printf "\nbench: wrote %s\n" path)
+    !json_path;
+  let check_passed =
+    match !check_path with
+    | None -> true
+    | Some path ->
+      let baseline = Report.load path in
+      let result =
+        Report.check ~tolerance_pct:!tolerance ~baseline ~current:report
+      in
+      Report.print_check result;
+      Report.check_ok result
+  in
+  let deterministic = speedup.Report.identical in
+  if not deterministic then
+    Printf.printf "\nbench: serial and parallel E6 tables DIFFER\n";
+  if failed <> [] then
+    Printf.printf "\nbench: FAILED tables: %s\n"
+      (String.concat ", " (List.map (fun t -> t.Experiments.Table.id) failed));
+  if not check_passed then
+    Printf.printf "\nbench: regression check against baseline FAILED\n";
+  if failed = [] && deterministic && check_passed then
+    Printf.printf "\nbench: all experiment tables OK\n"
+  else exit 1

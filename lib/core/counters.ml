@@ -1,0 +1,31 @@
+type t = {
+  rounds : int;
+  messages : int;
+  detector_queries : int;
+  predicate_checks : int;
+}
+
+let zero = { rounds = 0; messages = 0; detector_queries = 0; predicate_checks = 0 }
+
+let add a b =
+  {
+    rounds = a.rounds + b.rounds;
+    messages = a.messages + b.messages;
+    detector_queries = a.detector_queries + b.detector_queries;
+    predicate_checks = a.predicate_checks + b.predicate_checks;
+  }
+
+let to_fields t =
+  [
+    ("rounds", t.rounds);
+    ("messages", t.messages);
+    ("detector-queries", t.detector_queries);
+    ("predicate-checks", t.predicate_checks);
+  ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf (k, v) -> Format.fprintf ppf "%s=%d" k v))
+    (to_fields t)

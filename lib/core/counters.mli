@@ -1,0 +1,35 @@
+(** Work counters for one engine execution.
+
+    The bench/report layer wants tables to say how much work a run did, not
+    just whether it passed, so the {!Engine} counts the cheap-to-count
+    events of the round loop and surfaces them in the outcome.  All
+    counters are exact (no sampling):
+
+    - [rounds]: rounds actually executed (equals
+      [outcome.rounds_used] unless a predicate violation stopped the run);
+    - [messages]: round messages delivered — per process and round, the
+      processes {e outside} its fault set, i.e. [Σ_{i,r} (n − |D(i,r)|)];
+    - [detector_queries]: calls to {!Detector.next} (one per round);
+    - [predicate_checks]: per-round re-evaluations of the [?check]
+      predicate (0 when no check was requested). *)
+
+type t = {
+  rounds : int;
+  messages : int;
+  detector_queries : int;
+  predicate_checks : int;
+}
+
+val zero : t
+(** All counters 0 — the state before the first round. *)
+
+val add : t -> t -> t
+(** Field-wise sum, for aggregating across runs or trials. *)
+
+val to_fields : t -> (string * int) list
+(** Stable [(label, value)] view in declaration order; the labels
+    ("rounds", "messages", "detector-queries", "predicate-checks") are the
+    vocabulary used by experiment tables and the BENCH json schema. *)
+
+val pp : Format.formatter -> t -> unit
+(** ["rounds=…, messages=…, …"]. *)

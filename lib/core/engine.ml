@@ -4,6 +4,7 @@ type 'out outcome = {
   rounds_used : int;
   history : Fault_history.t;
   violation : string option;
+  counters : Counters.t;
 }
 
 let validate_round n sets =
@@ -17,21 +18,24 @@ let validate_round n sets =
         invalid_arg "Engine: detector declared every process faulty (D = S)")
     sets
 
-(* One round: emit, consult detector, deliver.  Returns the new history. *)
+(* One round: emit, consult detector, deliver.  Returns the new history and
+   the number of messages delivered (the non-suspected sender slots). *)
 let execute_round ~n ~algorithm ~detector ~round states history =
   let open Algorithm in
   let emitted = Array.map (fun s -> algorithm.emit s ~round) states in
   let fault_sets = Detector.next detector history in
   validate_round n fault_sets;
   let history = Fault_history.append history fault_sets in
+  let delivered = ref 0 in
   for i = 0 to n - 1 do
     let faulty = fault_sets.(i) in
+    delivered := !delivered + (n - Pset.cardinal faulty);
     let received =
       Array.init n (fun j -> if Pset.mem j faulty then None else Some emitted.(j))
     in
     states.(i) <- algorithm.deliver states.(i) ~round ~received ~faulty
   done;
-  history
+  (history, !delivered)
 
 let run ~n ?(max_rounds = 64) ?check ?(stop_when_decided = true) ~algorithm
     ~detector () =
@@ -51,19 +55,34 @@ let run ~n ?(max_rounds = 64) ?check ?(stop_when_decided = true) ~algorithm
     done
   in
   let all_decided () = Array.for_all Option.is_some decisions in
-  let rec loop round history =
+  let rec loop round history counters =
     if round > max_rounds || (stop_when_decided && all_decided ()) then
-      { decisions; decision_rounds; rounds_used = round - 1; history; violation = None }
+      { decisions; decision_rounds; rounds_used = round - 1; history;
+        violation = None; counters }
     else
-      let history = execute_round ~n ~algorithm ~detector ~round states history in
+      let history, delivered =
+        execute_round ~n ~algorithm ~detector ~round states history
+      in
       record_decisions round;
+      let counters =
+        Counters.
+          {
+            rounds = counters.rounds + 1;
+            messages = counters.messages + delivered;
+            detector_queries = counters.detector_queries + 1;
+            predicate_checks =
+              (counters.predicate_checks
+              + if Option.is_some check then 1 else 0);
+          }
+      in
       let violation = Option.bind check (fun p -> Predicate.explain p history) in
       match violation with
       | Some _ ->
-        { decisions; decision_rounds; rounds_used = round; history; violation }
-      | None -> loop (round + 1) history
+        { decisions; decision_rounds; rounds_used = round; history; violation;
+          counters }
+      | None -> loop (round + 1) history counters
   in
-  loop 1 (Fault_history.empty ~n)
+  loop 1 (Fault_history.empty ~n) Counters.zero
 
 let states_after ~n ~rounds ~algorithm ~detector () =
   let open Algorithm in
@@ -71,7 +90,9 @@ let states_after ~n ~rounds ~algorithm ~detector () =
   let rec loop round history =
     if round > rounds then history
     else
-      let history = execute_round ~n ~algorithm ~detector ~round states history in
+      let history, _delivered =
+        execute_round ~n ~algorithm ~detector ~round states history
+      in
       loop (round + 1) history
   in
   let history = loop 1 (Fault_history.empty ~n) in

@@ -17,6 +17,10 @@ type 'out outcome = {
   violation : string option;
       (** Earliest predicate violation, when a check was requested.  The run
           stops at the violating round. *)
+  counters : Counters.t;
+      (** Exact work accounting for the execution: rounds executed,
+          messages delivered, detector queries, predicate checks.  See
+          {!Counters}. *)
 }
 
 val run :

@@ -57,4 +57,5 @@ let run ?(seed = 1) ?(trials = 200) () =
     header = [ "n"; "f"; "trials"; "crash-viol"; "omit-viol"; "ok" ];
     rows = List.rev !rows;
     notes = [];
+    counters = [];
   }

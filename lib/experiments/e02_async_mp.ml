@@ -86,4 +86,5 @@ let run ?(seed = 2) ?(trials = 100) () =
     header = [ "construction"; "n"; "params"; "trials"; "violations"; "stalls"; "ok" ];
     rows = List.rev !rows;
     notes = [];
+    counters = [];
   }

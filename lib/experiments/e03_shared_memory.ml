@@ -50,4 +50,5 @@ let run ?(seed = 3) ?(trials = 200) () =
     header = [ "n"; "f"; "trials"; "closure-viol"; "model-viol"; "ok" ];
     rows = List.rev !rows;
     notes = [ "closure = two-round emulation from async MP; model = native shm rounds" ];
+    counters = [];
   }

@@ -47,4 +47,5 @@ let run ?(seed = 4) ?(trials = 200) () =
     rows = List.rev !rows;
     notes =
       [ "avg-steps = register operations per one-shot immediate snapshot" ];
+    counters = [];
   }

@@ -55,4 +55,5 @@ let run ?(seed = 5) ?(trials = 300) () =
     header = [ "n"; "samples"; "S⇒|∪∪D|<n"; "omission(n−1)⇒S"; "ok" ];
     rows = List.rev !rows;
     notes = [];
+    counters = [];
   }

@@ -7,6 +7,7 @@ let run ?(seed = 6) ?(trials = 500) ?jobs () =
   let cases =
     [ (4, 1); (4, 2); (4, 3); (8, 1); (8, 3); (8, 7); (16, 2); (16, 5); (24, 4) ]
   in
+  let work = ref [] in
   let rows =
     List.mapi
       (fun case_idx (n, k) ->
@@ -30,14 +31,18 @@ let run ?(seed = 6) ?(trials = 500) ?jobs () =
                 Tasks.Agreement.check ~k ~inputs outcome.Rrfd.Engine.decisions
                 <> None
               in
-              (distinct, failed, outcome.Rrfd.Engine.rounds_used <> 1))
+              ( distinct,
+                failed,
+                outcome.Rrfd.Engine.rounds_used <> 1,
+                outcome.Rrfd.Engine.counters ))
         in
+        work := Array.map (fun (_, _, _, c) -> c) obs :: !work;
         let max_distinct =
-          Array.fold_left (fun m (d, _, _) -> max m d) 0 obs
+          Array.fold_left (fun m (d, _, _, _) -> max m d) 0 obs
         in
         let count p = Array.fold_left (fun c o -> if p o then c + 1 else c) 0 obs in
-        let failures = count (fun (_, f, _) -> f) in
-        let rounds_bad = count (fun (_, _, r) -> r) in
+        let failures = count (fun (_, f, _, _) -> f) in
+        let rounds_bad = count (fun (_, _, r, _) -> r) in
         [
           Table.cell_int n;
           Table.cell_int k;
@@ -60,4 +65,5 @@ let run ?(seed = 6) ?(trials = 500) ?jobs () =
       [ "n"; "k"; "trials"; "max-distinct"; "task-fails"; "extra-rounds"; "ok" ];
     rows;
     notes = [ "max-distinct ≤ k is the agreement bound; 0 task-fails = validity+termination also hold" ];
+    counters = Table.counter_stats (Array.concat (List.rev !work));
   }

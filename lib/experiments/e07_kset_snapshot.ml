@@ -50,4 +50,5 @@ let run ?(seed = 7) ?(trials = 400) () =
     header = [ "n"; "k"; "f=k−1"; "trials"; "max-distinct"; "task-fails"; "ok" ];
     rows = List.rev !rows;
     notes = [];
+    counters = [];
   }

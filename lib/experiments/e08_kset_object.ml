@@ -4,6 +4,7 @@
 let run ?(seed = 8) ?(trials = 400) () =
   let rng = Dsim.Rng.create seed in
   let rows = ref [] in
+  let work = ref [] in
   List.iter
     (fun (n, k) ->
       let pred_bad = ref 0 and unreadable = ref 0 and agreement_ok = ref 0 in
@@ -27,7 +28,8 @@ let run ?(seed = 8) ?(trials = 400) () =
             ()
         in
         if Tasks.Agreement.check ~k ~inputs outcome.Rrfd.Engine.decisions = None
-        then incr agreement_ok
+        then incr agreement_ok;
+        work := outcome.Rrfd.Engine.counters :: !work
       done;
       rows :=
         [
@@ -53,4 +55,5 @@ let run ?(seed = 8) ?(trials = 400) () =
       [ "n"; "k"; "trials"; "pred-viol"; "unreadable"; "kset-solved"; "ok" ];
     rows = List.rev !rows;
     notes = [ "kset-solved counts trials where Thm 3.1 on the derived detector solved the task" ];
+    counters = Table.counter_stats (Array.of_list (List.rev !work));
   }

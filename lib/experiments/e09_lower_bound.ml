@@ -84,4 +84,5 @@ let run ?(seed = 9) ?(trials = 1) ?jobs () =
         "distinct = decisions among live processes; the crossover row per \
          (k,f) block is the paper's bound";
       ];
+    counters = [];
   }

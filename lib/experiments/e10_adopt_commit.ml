@@ -82,4 +82,5 @@ let run ?(seed = 10) ?(trials = 500) () =
       ];
     rows = List.rev !rows;
     notes = [ "inputs are random bits; commit% is per-process over all trials" ];
+    counters = [];
   }

@@ -79,4 +79,5 @@ let run ?(seed = 11) ?(trials = 200) ?jobs () =
     rows;
     notes =
       [ "overhead is exactly 3 asynchronous rounds per simulated synchronous round" ];
+    counters = [];
   }

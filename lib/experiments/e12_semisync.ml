@@ -76,4 +76,5 @@ let run ?(seed = 12) ?(trials = 300) () =
     rows = List.rev !rows;
     notes =
       [ "baseline-steps measured failure-free under round-robin speeds" ];
+    counters = [];
   }

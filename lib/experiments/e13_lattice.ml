@@ -63,4 +63,5 @@ let run ?(seed = 13) ?(trials = 0) () =
         "⇒ = implication over every ≤2-round 3-process history; · = \
          counterexample found";
       ];
+    counters = [];
   }

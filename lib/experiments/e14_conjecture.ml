@@ -80,4 +80,5 @@ let run ?(seed = 14) ?(trials = 2000) ?jobs () =
         "exhaustive rows settle the 2-round conjecture for that n; sampled \
          rows report the worst first known-by-all round seen";
       ];
+    counters = [];
   }

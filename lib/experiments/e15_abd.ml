@@ -63,4 +63,5 @@ let run ?(seed = 15) ?(trials = 150) () =
     rows = List.rev !rows;
     notes =
       [ "each trial: 4 chained writes, 6 reads at random times, ≤ f crashes" ];
+    counters = [];
   }

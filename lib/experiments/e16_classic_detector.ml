@@ -70,4 +70,5 @@ let run ?(seed = 16) ?(trials = 60) () =
         "avg-time is virtual time to the last decision; crashes at random \
          times ≤ 50";
       ];
+    counters = [];
   }

@@ -101,4 +101,5 @@ let run ?(seed = 17) ?(trials = 150) () =
       ];
     rows = List.rev !rows;
     notes = [ Printf.sprintf "random-crash rows: n = %d, f = %d" n f ];
+    counters = [];
   }

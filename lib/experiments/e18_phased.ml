@@ -6,6 +6,7 @@
 let run ?(seed = 18) ?(trials = 300) () =
   let rng = Dsim.Rng.create seed in
   let rows = ref [] in
+  let work = ref [] in
   List.iter
     (fun (n, stabilize_at) ->
       let f = n - 1 in
@@ -25,6 +26,7 @@ let run ?(seed = 18) ?(trials = 300) () =
             ()
         in
         max_rounds_used := max !max_rounds_used outcome.Rrfd.Engine.rounds_used;
+        work := outcome.Rrfd.Engine.counters :: !work;
         (match
            Tasks.Agreement.check ~k:1 ~inputs outcome.Rrfd.Engine.decisions
          with
@@ -61,4 +63,5 @@ let run ?(seed = 18) ?(trials = 300) () =
         "horizon = 3·(⌈(GST−1)/3⌉+1) rounds, the guaranteed decision point; \
          f = n−1 (wait-free)";
       ];
+    counters = Table.counter_stats (Array.of_list (List.rev !work));
   }

@@ -67,4 +67,5 @@ let run ?(seed = 19) ?(trials = 200) () =
          modelled at begin/finish granularity (register-level protocol in \
          shm.Safe_agreement)";
       ];
+    counters = [];
   }

@@ -5,6 +5,7 @@ type t = {
   header : string list;
   rows : string list list;
   notes : string list;
+  counters : (string * Runtime.Stats.t) list;
 }
 
 let cell_int = string_of_int
@@ -12,6 +13,23 @@ let cell_int = string_of_int
 let cell_float v = Printf.sprintf "%.2f" v
 
 let cell_bool b = if b then "yes" else "NO"
+
+(* Per-trial engine counters, summarised per field.  The field order of
+   Counters.to_fields is kept so every table reports work in the same
+   vocabulary (rounds, messages, detector-queries, predicate-checks). *)
+let counter_stats trials =
+  if Array.length trials = 0 then []
+  else
+    let labels = List.map fst (Rrfd.Counters.to_fields trials.(0)) in
+    List.map
+      (fun label ->
+        let per_trial =
+          Array.map
+            (fun c -> List.assoc label (Rrfd.Counters.to_fields c))
+            trials
+        in
+        (label, Runtime.Stats.of_ints per_trial))
+      labels
 
 (* Width of a string as displayed: count UTF-8 code points rather than
    bytes so the box drawing stays aligned with ⌊, ≤, etc. *)
@@ -42,6 +60,11 @@ let print t =
   line (List.map (fun w -> String.make w '-') (Array.to_list widths));
   List.iter line t.rows;
   List.iter (fun n -> Printf.printf "  note: %s\n" n) t.notes;
+  List.iter
+    (fun (label, s) ->
+      Printf.printf "  work: %-16s per trial %s\n" label
+        (Format.asprintf "%a" Runtime.Stats.pp s))
+    t.counters;
   if not (List.exists (List.exists (String.equal "NO")) t.rows) then
     Printf.printf "  [%s OK]\n" t.id
   else Printf.printf "  [%s FAILED]\n" t.id

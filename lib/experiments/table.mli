@@ -11,6 +11,11 @@ type t = {
   header : string list;
   rows : string list list;
   notes : string list;
+  counters : (string * Runtime.Stats.t) list;
+      (** Work accounting: per-trial {!Rrfd.Counters} fields summarised
+          over every trial behind the table ([[]] for experiments that do
+          not drive the engine).  Printed as "work:" lines and exported in
+          the BENCH json. *)
 }
 
 val cell_int : int -> string
@@ -20,6 +25,12 @@ val cell_float : float -> string
 
 val cell_bool : bool -> string
 (** "yes" / "NO". *)
+
+val counter_stats : Rrfd.Counters.t array -> (string * Runtime.Stats.t) list
+(** [counter_stats trials] summarises one engine-counter record per trial
+    into per-field {!Runtime.Stats}, in {!Rrfd.Counters.to_fields} order —
+    the canonical way for an experiment to fill {!t.counters}.  [[]] for an
+    empty array. *)
 
 val print : t -> unit
 (** Render to stdout with aligned columns. *)

@@ -1,0 +1,131 @@
+(** Machine-readable bench telemetry (the BENCH json).
+
+    One value of {!t} captures everything a bench run measured — the
+    micro-benchmark subjects (ns/run), each experiment table's status plus
+    its engine work counters, the campaign speedup check — together with
+    the metadata needed to compare runs (seed, jobs, git sha, hostname).
+    {!check} compares two such reports and is the regression gate CI runs:
+    a subject slower than baseline beyond a tolerance, or a table that was
+    passing and now fails, is a hard failure.
+
+    Schema (version {!version}) — see README.md for the field-by-field
+    description:
+    {v
+    { "version": 1,
+      "meta": { "seed", "jobs", "git_sha", "hostname" },
+      "subjects": [ { "name", "ns_per_run" } ],
+      "tables": [ { "id", "title", "ok",
+                    "counters": { <label>: { "count", "mean", "stddev",
+                                             "min", "max" } } } ],
+      "speedup": { "trials", "jobs", "serial_s", "parallel_s",
+                   "factor", "identical" } | null }
+    v} *)
+
+module Json = Json
+
+val version : int
+(** Current schema version (1).  {!of_json} refuses other versions. *)
+
+type stat = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+(** A decoded {!Runtime.Stats.t} (that type is private, so reports carry
+    their own mirror). *)
+
+type subject = {
+  name : string;  (** e.g. ["rrfd/kset-one-round n=8"]. *)
+  ns_per_run : float;  (** OLS estimate; [nan] when bechamel had none. *)
+}
+
+type table = {
+  id : string;
+  title : string;
+  ok : bool;
+  counters : (string * stat) list;
+}
+
+type speedup = {
+  trials : int;
+  jobs : int;
+  serial_s : float;
+  parallel_s : float;
+  factor : float;
+  identical : bool;  (** Serial and parallel tables bit-identical. *)
+}
+
+type meta = { seed : int; jobs : int; git_sha : string; hostname : string }
+
+type t = {
+  version : int;
+  meta : meta;
+  subjects : subject list;
+  tables : table list;
+  speedup : speedup option;
+}
+
+val stat_of_stats : Runtime.Stats.t -> stat
+
+val to_json : t -> Json.t
+
+val of_json : Json.t -> t
+(** @raise Json.Error on shape or version mismatch. *)
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** @raise Json.Error on malformed input. *)
+
+val save : string -> t -> unit
+(** Write to a file (trailing newline included). *)
+
+val load : string -> t
+(** @raise Json.Error on malformed content; [Sys_error] on I/O failure. *)
+
+(** {1 Regression check} *)
+
+type verdict =
+  | Ok  (** Within tolerance. *)
+  | Regressed  (** Slower than baseline beyond tolerance — gates. *)
+  | Improved  (** Faster than baseline beyond tolerance (informational). *)
+  | Missing  (** In baseline, absent from the current run. *)
+  | New  (** In the current run, absent from baseline. *)
+  | Incomparable  (** No finite estimate on one of the sides. *)
+
+type comparison = {
+  subject : string;
+  baseline_ns : float;  (** [nan] when absent. *)
+  current_ns : float;  (** [nan] when absent. *)
+  delta_pct : float;  (** [(new − old)/old · 100]; [nan] if incomparable. *)
+  verdict : verdict;
+}
+
+type check_result = {
+  tolerance_pct : float;
+  comparisons : comparison list;  (** Baseline order, then new subjects. *)
+  regressions : string list;  (** Subjects with [Regressed]. *)
+  broken_tables : string list;
+      (** Tables ok in baseline but failing (or gone) in the current run —
+          strict, no tolerance. *)
+  stale_tables : string list;
+      (** Tables failing in baseline but passing now: the baseline no
+          longer describes reality and must be refreshed.  Gates, so the
+          status check is strict in both directions. *)
+}
+
+val check : tolerance_pct:float -> baseline:t -> current:t -> check_result
+(** Compare a fresh run against a baseline.  Subject timing gates with
+    tolerance ([Regressed] iff [delta_pct > tolerance_pct]); table status
+    gates strictly.  [Missing]/[New]/[Incomparable] subjects never gate:
+    estimates on shared runners come and go, only confirmed slowdowns and
+    broken tables should fail CI. *)
+
+val check_ok : check_result -> bool
+(** No regressions, no broken tables, no stale tables. *)
+
+val print_check : check_result -> unit
+(** Render the per-subject old/new/delta table and the verdict summary to
+    stdout. *)

@@ -29,4 +29,5 @@ let () =
       ("snapshot-stress", Test_snapshot_stress.tests);
       ("registry", Test_registry.tests);
       ("runtime", Test_runtime.tests);
+      ("report", Test_report.tests);
     ]

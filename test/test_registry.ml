@@ -23,6 +23,7 @@ let table_ok_detects_failures () =
       header = [ "a" ];
       rows = [ [ "yes" ]; [ "1" ] ];
       notes = [];
+      counters = [];
     }
   in
   Alcotest.(check bool) "good table" true (Experiments.Table.ok good);
