@@ -179,6 +179,223 @@ let trace_cmd =
        ~doc:"Run one-round k-set agreement (Thm 3.1) and print the transcript.")
     Term.(const run $ seed_arg $ n_arg $ k_arg)
 
+(* `check` — the schedule-space model checker: fuzz (or exhaustively
+   enumerate) predicate-satisfying fault histories hunting for one that
+   makes a system violate a safety property, shrink it, persist it as a
+   JSON artifact, and replay such artifacts deterministically. *)
+let check_cmd =
+  let sut_arg =
+    let doc = "System under test: " ^ Check.Spec.sut_names ^ "." in
+    Arg.(value & opt string "kset-one-round" & info [ "sut" ] ~docv:"SUT" ~doc)
+  in
+  let predicate_arg =
+    let doc =
+      "RRFD predicate the histories must satisfy (the model under test): "
+      ^ Check.Spec.predicate_names
+      ^ ".  Weaken it deliberately (e.g. kset:k=3 against k-agreement:k=2) \
+         to watch the checker refute the theorem's converse."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "predicate" ] ~docv:"PRED" ~doc)
+  in
+  let generator_arg =
+    let doc =
+      "Constructive sampling: draw histories from this detector generator \
+       instead of rejection sampling ("
+      ^ Check.Spec.generator_names ^ ")."
+    in
+    Arg.(value & opt (some string) None & info [ "generator" ] ~docv:"GEN" ~doc)
+  in
+  let property_arg =
+    let doc =
+      "Safety property to check (repeatable): " ^ Check.Spec.property_names
+      ^ ".  Default: the SUT's own specification."
+    in
+    Arg.(value & opt_all string [] & info [ "property" ] ~docv:"PROP" ~doc)
+  in
+  let n_arg = Arg.(value & opt int 4 & info [ "n" ] ~doc:"System size.") in
+  let rounds_arg =
+    let doc = "History length to explore (default: what the SUT needs)." in
+    Arg.(value & opt (some int) None & info [ "rounds" ] ~doc)
+  in
+  let trials_arg =
+    Arg.(value & opt int 1000 & info [ "trials" ] ~doc:"Fuzzing trials.")
+  in
+  let attempts_arg =
+    let doc = "Per-round rejection budget when sampling histories." in
+    Arg.(value & opt int 64 & info [ "attempts" ] ~doc)
+  in
+  let exhaustive_arg =
+    let doc =
+      "Enumerate every history of the given size instead of fuzzing (keep \
+       n ≤ 4, rounds ≤ 2)."
+    in
+    Arg.(value & flag & info [ "exhaustive" ] ~doc)
+  in
+  let save_arg =
+    let doc = "Write the counterexample artifact (JSON) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+  in
+  let expect_arg =
+    let doc =
+      "Invert the exit status: succeed iff a violation was found (CI smoke \
+       checks that seeded violations stay findable)."
+    in
+    Arg.(value & flag & info [ "expect-violation" ] ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Replay the counterexample artifact at $(docv): re-execute its \
+       history and verify the recorded decision vector bit-for-bit."
+    in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let trace_flag =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the full transcript.")
+  in
+  let or_die = function
+    | Ok v -> v
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  let pp_decisions pp_out ppf decisions =
+    Array.iteri
+      (fun i d ->
+        if i > 0 then Format.fprintf ppf " ";
+        match d with
+        | None -> Format.fprintf ppf "p%d→⊥" i
+        | Some v -> Format.fprintf ppf "p%d→%a" i pp_out v)
+      decisions
+  in
+  let print_counterexample ~sut ce =
+    let open Check.Checker in
+    Printf.printf "COUNTEREXAMPLE refuting %s under %s\n" ce.sut ce.property;
+    (match ce.trial with
+    | -1 -> Printf.printf "  found by exhaustive enumeration"
+    | t -> Printf.printf "  found at trial %d" t);
+    Printf.printf ", shrunk in %d step(s) to:\n" ce.shrink_steps;
+    Format.printf "  @[<v>%a@]@." Rrfd.Fault_history.pp ce.history;
+    Printf.printf "  compact: %s\n"
+      (Rrfd.Fault_history.to_string_compact ce.history);
+    Format.printf "  decisions: %a@."
+      (pp_decisions (Check.Sut.pp_out sut))
+      ce.decisions;
+    Printf.printf "  failure: %s\n" ce.failure
+  in
+  let do_replay path with_trace =
+    let artifact = Check.Artifact.load path in
+    let ce = artifact.Check.Artifact.counterexample in
+    Printf.printf
+      "replaying %s: sut %s, predicate %s, property %s (seed %d, trial %d)\n"
+      path artifact.Check.Artifact.sut artifact.Check.Artifact.predicate
+      ce.Check.Checker.property artifact.Check.Artifact.seed
+      ce.Check.Checker.trial;
+    Printf.printf "  history: %s\n"
+      (Rrfd.Fault_history.to_string_compact ce.Check.Checker.history);
+    let replay = or_die (Check.Artifact.replay artifact) in
+    let sut = or_die (Check.Spec.sut artifact.Check.Artifact.sut) in
+    if with_trace then
+      Printf.printf "%s\n" replay.Check.Artifact.transcript;
+    Format.printf "  decisions: %a@."
+      (pp_decisions (Check.Sut.pp_out sut))
+      replay.Check.Artifact.obs.Check.Property.decisions;
+    (match replay.Check.Artifact.failure with
+    | Some (prop, msg) -> Printf.printf "  failure: %s: %s\n" prop msg
+    | None -> Printf.printf "  failure: none (property holds on replay!)\n");
+    if Check.Artifact.reproduced replay then begin
+      Printf.printf "replay REPRODUCED the recorded decision vector exactly.\n";
+      0
+    end
+    else begin
+      Printf.printf
+        "replay DIVERGED from the recording (decisions %s, failure %s).\n"
+        (if replay.Check.Artifact.decisions_match then "match" else "differ")
+        (if replay.Check.Artifact.failure = None then "gone" else "present");
+      1
+    end
+  in
+  let run seed trials jobs sut_spec predicate_spec generator_spec
+      property_specs n rounds attempts exhaustive save expect replay
+      with_trace =
+    setup_logs ();
+    match replay with
+    | Some path -> do_replay path with_trace
+    | None ->
+      let sut = or_die (Check.Spec.sut sut_spec) in
+      let generator =
+        Option.map
+          (fun spec -> (spec, or_die (Check.Spec.generator spec)))
+          generator_spec
+      in
+      let predicate_spec, predicate =
+        match (predicate_spec, generator) with
+        | Some spec, _ -> (spec, or_die (Check.Spec.predicate spec))
+        | None, Some (spec, (_, paired)) -> (spec, paired)
+        | None, None -> ("kset:k=2", or_die (Check.Spec.predicate "kset:k=2"))
+      in
+      let property_specs =
+        match property_specs with
+        | [] -> Check.Spec.default_properties sut
+        | specs -> specs
+      in
+      let properties =
+        List.map (fun s -> or_die (Check.Spec.property s)) property_specs
+      in
+      let rounds =
+        match rounds with Some r -> r | None -> Check.Sut.rounds sut
+      in
+      let found =
+        if exhaustive then
+          Check.Checker.exhaustive ?jobs ~n ~rounds ~sut ~predicate
+            ~properties ()
+        else
+          Check.Checker.fuzz
+            { Check.Checker.n; rounds; trials; seed; jobs; attempts }
+            ~sut ~predicate
+            ?generator:(Option.map (fun (_, (gen, _)) -> gen) generator)
+            ~properties ()
+      in
+      (match found with
+      | None ->
+        if exhaustive then
+          Printf.printf
+            "no counterexample: every %d-round %d-process history satisfying \
+             %s keeps %s safe.\n"
+            rounds n
+            (Rrfd.Predicate.name predicate)
+            (String.concat " ∧ " property_specs)
+        else
+          Printf.printf "no counterexample in %d trial(s) (seed %d).\n" trials
+            seed
+      | Some ce ->
+        print_counterexample ~sut ce;
+        if with_trace then
+          Printf.printf "%s\n"
+            (Check.Sut.transcript sut ~check:predicate
+               ce.Check.Checker.history);
+        Option.iter
+          (fun path ->
+            Check.Artifact.save path
+              (Check.Artifact.make ~sut_spec ~predicate_spec
+                 ~property_specs ~seed ce);
+            Printf.printf "artifact saved to %s\n" path)
+          save);
+      let violated = found <> None in
+      if violated = expect then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Model-check a protocol over the schedule space of an RRFD \
+          predicate: fuzz or exhaustively enumerate fault histories, shrink \
+          any property violation to a minimal history, and save/replay it \
+          as a JSON artifact.")
+    Term.(
+      const run $ seed_arg $ trials_arg $ jobs_arg $ sut_arg $ predicate_arg
+      $ generator_arg $ property_arg $ n_arg $ rounds_arg $ attempts_arg
+      $ exhaustive_arg $ save_arg $ expect_arg $ replay_arg $ trace_flag)
+
 let main =
   let doc =
     "Reproduce the results of Gafni's 'Round-by-Round Fault Detectors' \
@@ -186,6 +403,6 @@ let main =
   in
   Cmd.group
     (Cmd.info "rrfd-experiments" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; all_cmd; lattice_cmd; trace_cmd ]
+    [ list_cmd; run_cmd; all_cmd; lattice_cmd; trace_cmd; check_cmd ]
 
 let () = exit (Cmd.eval' main)

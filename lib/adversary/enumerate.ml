@@ -14,7 +14,10 @@ let round_assignments ~n =
   in
   List.map Array.of_list (build 0)
 
-let fold ~n ~rounds ~satisfying ~init ~f =
+let fold_extensions ~prefix ~rounds ~satisfying ~init ~f =
+  let n = Rrfd.Fault_history.n prefix in
+  if rounds < Rrfd.Fault_history.rounds prefix then
+    invalid_arg "Enumerate.fold_extensions: prefix longer than target";
   let assignments = round_assignments ~n in
   let rec explore acc history depth =
     if not (Rrfd.Predicate.holds satisfying history) then acc
@@ -24,15 +27,22 @@ let fold ~n ~rounds ~satisfying ~init ~f =
         (fun acc d -> explore acc (Rrfd.Fault_history.append history d) (depth + 1))
         acc assignments
   in
-  explore init (Rrfd.Fault_history.empty ~n) 0
+  explore init prefix (Rrfd.Fault_history.rounds prefix)
+
+let fold ~n ~rounds ~satisfying ~init ~f =
+  fold_extensions ~prefix:(Rrfd.Fault_history.empty ~n) ~rounds ~satisfying ~init
+    ~f
 
 let count ~n ~rounds ~satisfying =
   fold ~n ~rounds ~satisfying ~init:0 ~f:(fun c _ -> c + 1)
 
-let find ~n ~rounds ~satisfying ~f =
+let find_extension ~prefix ~rounds ~satisfying ~f =
   let exception Found of Rrfd.Fault_history.t in
   try
-    fold ~n ~rounds ~satisfying ~init:() ~f:(fun () h ->
+    fold_extensions ~prefix ~rounds ~satisfying ~init:() ~f:(fun () h ->
         if f h then raise (Found h));
     None
   with Found h -> Some h
+
+let find ~n ~rounds ~satisfying ~f =
+  find_extension ~prefix:(Rrfd.Fault_history.empty ~n) ~rounds ~satisfying ~f

@@ -1,0 +1,59 @@
+(** Counterexample artifacts: serialize, reload, re-execute.
+
+    A counterexample is only worth anything if it survives the process that
+    found it, so the checker persists each one as a small JSON document
+    (schema {!version}): the spec strings that configured the run, the
+    minimal history in {!Rrfd.Fault_history.to_string_compact} form, and
+    the decision vector observed on it.  {!replay} reconstructs everything
+    from the specs and re-executes the history deterministically — the
+    replayed decision vector must match the recorded one bit for bit, at
+    any [-j], or the artifact (or the code under test) has drifted. *)
+
+type t = {
+  version : int;
+  sut : string;  (** {!Spec.sut} string. *)
+  predicate : string;  (** {!Spec.predicate} string. *)
+  properties : string list;  (** {!Spec.property} strings. *)
+  seed : int;  (** Seed of the finding run ([0] for exhaustive). *)
+  counterexample : Checker.counterexample;
+}
+
+val version : int
+(** Current schema version (1). *)
+
+val make :
+  sut_spec:string ->
+  predicate_spec:string ->
+  property_specs:string list ->
+  seed:int ->
+  Checker.counterexample ->
+  t
+
+val to_json : t -> Report.Json.t
+
+val of_json : Report.Json.t -> t
+(** @raise Report.Json.Error on shape or version mismatch. *)
+
+val save : string -> t -> unit
+(** Pretty-printed, trailing newline — artifacts are meant to be read. *)
+
+val load : string -> t
+(** @raise Report.Json.Error on malformed content; [Sys_error] on I/O
+    failure. *)
+
+type replay = {
+  obs : Property.obs;  (** The re-execution. *)
+  failure : (string * string) option;
+      (** Violated property (name, message) on replay, if any. *)
+  decisions_match : bool;
+      (** Replayed decision vector identical to the recorded one. *)
+  transcript : string;  (** Full {!Rrfd.Trace} rendering of the replay. *)
+}
+
+val replay : t -> (replay, string) result
+(** Re-execute the artifact.  [Error] only when a spec string no longer
+    parses (an artifact from a different vocabulary version). *)
+
+val reproduced : replay -> bool
+(** The replay still fails some property {e and} the decision vector
+    matches the recording. *)

@@ -1,0 +1,54 @@
+module Pset = Rrfd.Pset
+
+(* A proper subset of the system: the engine (and the paper) forbid
+   D(i,r) = S.  Resampling the full set away terminates quickly (the full
+   set has probability 2^-n per draw). *)
+let proper_subset rng n =
+  let rec draw () =
+    let s = Pset.random_subset rng (Pset.full n) in
+    if Pset.equal s (Pset.full n) then draw () else s
+  in
+  draw ()
+
+(* Sparse rounds: mostly-empty sets with the occasional singleton.  Most
+   named predicates (crash, async with small f, k-set) live here, and small
+   sets are also where minimal counterexamples live. *)
+let sparse_round rng n =
+  Array.init n (fun _ ->
+      if Dsim.Rng.bool rng then Pset.empty
+      else Pset.singleton (Dsim.Rng.int rng n))
+
+(* Shared-base rounds: one proper subset B drawn per round, each process
+   missing a subset of B — the shape of omission and k-set histories. *)
+let shared_round rng n =
+  let base = proper_subset rng n in
+  Array.init n (fun _ -> Pset.random_subset rng base)
+
+(* Wild rounds: independent proper subsets, the unconstrained adversary. *)
+let wild_round rng n = Array.init n (fun _ -> proper_subset rng n)
+
+let round_sets rng ~n =
+  match Dsim.Rng.int rng 3 with
+  | 0 -> sparse_round rng n
+  | 1 -> shared_round rng n
+  | _ -> wild_round rng n
+
+let history ?(attempts = 64) rng ~n ~rounds ~satisfying =
+  if rounds < 0 then invalid_arg "Gen.history: negative round count";
+  let rec extend h built =
+    if built = rounds then Some h
+    else
+      let rec try_round budget =
+        if budget = 0 then None
+        else
+          let candidate = Rrfd.Fault_history.append h (round_sets rng ~n) in
+          if Rrfd.Predicate.holds satisfying candidate then Some candidate
+          else try_round (budget - 1)
+      in
+      match try_round attempts with
+      | None -> None
+      | Some h -> extend h (built + 1)
+  in
+  let empty = Rrfd.Fault_history.empty ~n in
+  if not (Rrfd.Predicate.holds satisfying empty) then None
+  else extend empty 0

@@ -1,0 +1,27 @@
+(** Random fault histories conditioned on a predicate.
+
+    The fuzzer's history source: rounds are drawn from a mix of styles
+    (sparse, shared-base, wild) chosen to land inside the interesting
+    predicates reasonably often, then rejection-sampled round by round
+    against the target {!Rrfd.Predicate}.  Per-round rejection is sound
+    because every predicate in the paper is prefix-closed: a prefix that
+    already violates can never be extended into a satisfying history.
+
+    All draws flow through an explicit {!Dsim.Rng.t}, so a trial is
+    reproducible from its derived seed at any [-j]. *)
+
+val round_sets : Dsim.Rng.t -> n:int -> Rrfd.Pset.t array
+(** One unconstrained round: a fault set per process, never the full
+    system (the engine rejects [D(i,r) = S]). *)
+
+val history :
+  ?attempts:int ->
+  Dsim.Rng.t ->
+  n:int ->
+  rounds:int ->
+  satisfying:Rrfd.Predicate.t ->
+  Rrfd.Fault_history.t option
+(** [history rng ~n ~rounds ~satisfying] draws a [rounds]-round history
+    every prefix of which satisfies the predicate, retrying each round up
+    to [attempts] (default 64) times before giving up on the trial ([None]
+    — the caller just moves on to the next trial's RNG stream). *)

@@ -1,0 +1,52 @@
+module H = Rrfd.Fault_history
+
+(* D(i,r) = S is structurally impossible in the model (not every process
+   can be late, paper §2), and the engine rejects it with an exception
+   rather than a recorded violation — so no candidate may contain a full
+   fault set.  Round drops and element removals only ever shrink sets, but
+   removing a process can promote a proper subset to the full set of the
+   smaller system, so those candidates get filtered. *)
+let well_formed h =
+  let n = H.n h in
+  let full = Rrfd.Pset.full n in
+  let ok = ref true in
+  for round = 1 to H.rounds h do
+    for proc = 0 to n - 1 do
+      if Rrfd.Pset.equal (H.d h ~proc ~round) full then ok := false
+    done
+  done;
+  !ok
+
+let candidates h =
+  let n = H.n h in
+  let rounds = H.rounds h in
+  let drop_rounds =
+    List.init rounds (fun i -> H.drop_round h ~round:(rounds - i))
+  in
+  let drop_procs =
+    if n <= 1 then []
+    else
+      List.filter well_formed
+        (List.init n (fun i -> H.remove_proc h ~proc:(n - 1 - i)))
+  in
+  let drop_elements =
+    List.concat
+      (List.init rounds (fun r ->
+           let round = r + 1 in
+           List.concat
+             (List.init n (fun proc ->
+                  let d = H.d h ~proc ~round in
+                  List.map
+                    (fun e -> H.update h ~round ~proc (Rrfd.Pset.remove e d))
+                    (Rrfd.Pset.to_list d)))))
+  in
+  drop_rounds @ drop_procs @ drop_elements
+
+let minimize ~satisfying ~still_fails h =
+  let accept c = Rrfd.Predicate.holds satisfying c && still_fails c in
+  let rec loop h steps =
+    match List.find_opt accept (candidates h) with
+    | Some c -> loop c (steps + 1)
+    | None -> (h, steps)
+  in
+  loop h 0

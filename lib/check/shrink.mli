@@ -1,0 +1,29 @@
+(** Greedy counterexample shrinking over fault histories.
+
+    A raw failing history from the fuzzer is noisy: extra rounds, extra
+    processes, bloated fault sets.  The shrinker walks a candidate ladder —
+    drop a round, remove a process, drop one element from one [D(i,r)] —
+    and greedily accepts any candidate that {e still satisfies the
+    predicate} and {e still fails the property}, restarting from the top
+    until no candidate is accepted.  Predicate re-validation at every step
+    is what keeps the minimised history a legal execution of the model
+    under test, not just a small failing input. *)
+
+val candidates : Rrfd.Fault_history.t -> Rrfd.Fault_history.t list
+(** One-step reductions of a history, most aggressive first: round drops
+    (last round first), then process removals (only when [n > 1], and only
+    those the engine accepts — removal may promote a proper subset to
+    [D = S] of the smaller system, and such candidates are dropped), then
+    single-element removals from individual fault sets.  Every candidate is
+    strictly smaller in (rounds, processes, total fault-set size). *)
+
+val minimize :
+  satisfying:Rrfd.Predicate.t ->
+  still_fails:(Rrfd.Fault_history.t -> bool) ->
+  Rrfd.Fault_history.t ->
+  Rrfd.Fault_history.t * int
+(** [minimize ~satisfying ~still_fails h] greedily minimises [h], returning
+    the fixed point and the number of accepted shrink steps.  [still_fails]
+    must be deterministic; [h] itself is assumed to satisfy the predicate
+    and fail the property.  The result is 1-minimal: no single candidate
+    step keeps both the predicate and the failure. *)

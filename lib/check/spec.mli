@@ -1,0 +1,45 @@
+(** String specs for predicates, generators, systems and properties.
+
+    Counterexample artifacts must survive a round-trip through JSON and
+    come back executable, so everything the checker is configured with is
+    named by a little spec string: a bare name, or [name:key=val,key=val]
+    (e.g. ["kset:k=2"], ["async-mixed:f=1,t=2"]).  The same specs are the
+    CLI's vocabulary, so an artifact's fields read exactly like the command
+    line that would regenerate it. *)
+
+val predicate : string -> (Rrfd.Predicate.t, string) result
+(** Named predicates: [true], [no-self], [not-all-faulty], [crash-closure],
+    [someone-seen], [antisym], [omission:f=_], [crash:f=_], [async:f=_],
+    [async-mixed:f=_,t=_], [shm:f=_], [shm-alt:f=_], [snapshot:f=_],
+    [kset:k=_], [eq5], [detector-s].  [f] defaults to 1, [k] to 2, [t] to
+    2.  [Error] names the unknown spec and lists the vocabulary. *)
+
+val generator :
+  string ->
+  ((Dsim.Rng.t -> n:int -> Rrfd.Detector.t) * Rrfd.Predicate.t, string) result
+(** Constructive {!Rrfd.Detector_gen} generators, paired with the
+    predicate they satisfy by construction (the shrinker re-validates
+    against it): [omission:f=_], [crash:f=_], [async:f=_],
+    [async-mixed:f=_,t=_], [shm:f=_], [snapshot:f=_], [kset:k=_],
+    [antisym:f=_], [eq5], [detector-s]. *)
+
+val sut : string -> (Sut.t, string) result
+(** [kset-one-round], [consensus], [adopt-commit]. *)
+
+val property : string -> (Property.t, string) result
+(** [agreement], [k-agreement:k=_], [validity], [termination],
+    [adopt-commit]. *)
+
+val default_properties : Sut.t -> string list
+(** The property specs the CLI checks when none are given: the full
+    adopt-commit specification for the adopt-commit SUT, and
+    termination + validity + agreement otherwise. *)
+
+val predicate_names : string
+(** Comma-separated vocabulary, for [--help] and error messages. *)
+
+val generator_names : string
+
+val sut_names : string
+
+val property_names : string

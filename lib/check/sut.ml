@@ -1,0 +1,109 @@
+type t = {
+  name : string;
+  rounds : int;
+  pp_out : Format.formatter -> int -> unit;
+  run_fn :
+    n:int ->
+    max_rounds:int ->
+    check:Rrfd.Predicate.t ->
+    detector:Rrfd.Detector.t ->
+    Property.obs;
+  transcript_fn :
+    n:int ->
+    max_rounds:int ->
+    check:Rrfd.Predicate.t ->
+    detector:Rrfd.Detector.t ->
+    string;
+}
+
+let name sut = sut.name
+
+let rounds sut = sut.rounds
+
+let pp_out sut = sut.pp_out
+
+let default_inputs ~n = Tasks.Inputs.distinct n
+
+let obs_of_outcome ~n ~inputs (outcome : int Rrfd.Engine.outcome) =
+  {
+    Property.n;
+    inputs;
+    decisions = outcome.Rrfd.Engine.decisions;
+    decision_rounds = outcome.Rrfd.Engine.decision_rounds;
+    rounds_used = outcome.Rrfd.Engine.rounds_used;
+    history = outcome.Rrfd.Engine.history;
+    violation = outcome.Rrfd.Engine.violation;
+  }
+
+let make ~name ~rounds ~pp_msg ?(pp_out = Format.pp_print_int) algo =
+  {
+    name;
+    rounds;
+    pp_out;
+    run_fn =
+      (fun ~n ~max_rounds ~check ~detector ->
+        let inputs = default_inputs ~n in
+        let outcome =
+          Rrfd.Engine.run ~n ~max_rounds ~check ~algorithm:(algo ~inputs)
+            ~detector ()
+        in
+        obs_of_outcome ~n ~inputs outcome);
+    transcript_fn =
+      (fun ~n ~max_rounds ~check ~detector ->
+        let inputs = default_inputs ~n in
+        let trace =
+          Rrfd.Trace.record ~n ~max_rounds ~check ~pp_msg
+            ~algorithm:(algo ~inputs) ~detector ()
+        in
+        Format.asprintf "@[<v>%a@]" (Rrfd.Trace.pp pp_out) trace);
+  }
+
+let run sut ~n ~max_rounds ~check ~detector =
+  sut.run_fn ~n ~max_rounds ~check ~detector
+
+(* Replay a pinned history, padded with failure-free rounds up to the
+   protocol's horizon.  Without the padding, shrinking away a round of a
+   multi-round protocol would starve it of rounds and every candidate would
+   "fail" by trivial non-termination; with it, a shortened history means
+   "the adversary goes quiet", and the online predicate check rejects
+   paddings the model forbids (e.g. crash-closure never lets the adversary
+   unsuspect anyone). *)
+let pinned_detector ~n ~sut_rounds history =
+  let pinned = Rrfd.Fault_history.rounds history in
+  let schedule =
+    List.init pinned (fun r ->
+        Rrfd.Fault_history.round_sets history ~round:(r + 1))
+  in
+  let after = Array.make n Rrfd.Pset.empty in
+  (Rrfd.Detector.of_schedule ~after schedule, max pinned sut_rounds)
+
+let run_history sut ~check history =
+  let n = Rrfd.Fault_history.n history in
+  let detector, max_rounds = pinned_detector ~n ~sut_rounds:sut.rounds history in
+  sut.run_fn ~n ~max_rounds ~check ~detector
+
+let transcript sut ~check history =
+  let n = Rrfd.Fault_history.n history in
+  let detector, max_rounds = pinned_detector ~n ~sut_rounds:sut.rounds history in
+  sut.transcript_fn ~n ~max_rounds ~check ~detector
+
+let kset_one_round =
+  make ~name:"kset-one-round" ~rounds:1 ~pp_msg:Format.pp_print_int
+    (fun ~inputs -> Rrfd.Kset.one_round ~inputs)
+
+let consensus =
+  make ~name:"consensus" ~rounds:1 ~pp_msg:Format.pp_print_int (fun ~inputs ->
+      Rrfd.Kset.consensus ~inputs)
+
+let adopt_commit =
+  let pp_msg ppf = function
+    | Rrfd.Adopt_commit.Value v -> Format.fprintf ppf "value %d" v
+    | Rrfd.Adopt_commit.Vote (Rrfd.Adopt_commit.Commit_vote v) ->
+      Format.fprintf ppf "commit-vote %d" v
+    | Rrfd.Adopt_commit.Vote (Rrfd.Adopt_commit.Adopt_vote v) ->
+      Format.fprintf ppf "adopt-vote %d" v
+  in
+  make ~name:"adopt-commit" ~rounds:2 ~pp_msg
+    ~pp_out:Property.pp_encoded_outcome (fun ~inputs ->
+      Rrfd.Algorithm.map_output Property.encode_outcome
+        (Rrfd.Adopt_commit.algorithm ~inputs))

@@ -1,0 +1,71 @@
+(** Systems under test: an algorithm packaged for the model checker.
+
+    A SUT hides the algorithm's state and message types behind two closures
+    — one producing a {!Property.obs} through {!Rrfd.Engine.run}, one
+    rendering a full {!Rrfd.Trace} transcript — so the checker can drive any
+    of the repo's protocols uniformly.  Inputs are always
+    [Tasks.Inputs.distinct n] (every process proposes its own id, the
+    hardest case for agreement), which keeps counterexamples meaningful
+    after the shrinker merges processes away. *)
+
+type t
+
+val name : t -> string
+
+val rounds : t -> int
+(** Rounds the protocol needs to terminate — the default history length the
+    fuzzer draws. *)
+
+val make :
+  name:string ->
+  rounds:int ->
+  pp_msg:(Format.formatter -> 'm -> unit) ->
+  ?pp_out:(Format.formatter -> int -> unit) ->
+  (inputs:int array -> ('s, 'm, int) Rrfd.Algorithm.t) ->
+  t
+(** [make ~name ~rounds ~pp_msg algo] packages [algo].  [pp_out] renders
+    decisions in transcripts (default: plain int). *)
+
+val default_inputs : n:int -> int array
+(** [Tasks.Inputs.distinct n]. *)
+
+val run :
+  t ->
+  n:int ->
+  max_rounds:int ->
+  check:Rrfd.Predicate.t ->
+  detector:Rrfd.Detector.t ->
+  Property.obs
+(** One execution, observed.  The engine stops when every process decided
+    or after [max_rounds] rounds, and re-checks [check] online so a
+    detector straying outside its predicate is reported in
+    [obs.violation]. *)
+
+val run_history :
+  t -> check:Rrfd.Predicate.t -> Rrfd.Fault_history.t -> Property.obs
+(** Replay a pinned fault history ({!Rrfd.Detector.of_schedule}).  A
+    history shorter than the SUT's horizon is padded with failure-free
+    rounds up to {!rounds} — so shrinking a round away means "the adversary
+    goes quiet", never "the protocol is starved of rounds" — and the
+    engine's online check rejects paddings the predicate forbids.
+    Deterministic: equal histories produce equal observations, which is
+    what makes counterexample replay and shrinking sound. *)
+
+val pp_out : t -> Format.formatter -> int -> unit
+
+val transcript :
+  t -> check:Rrfd.Predicate.t -> Rrfd.Fault_history.t -> string
+(** The rendered {!Rrfd.Trace} of replaying the history — what
+    [check --replay] prints. *)
+
+(** {1 Stock systems} *)
+
+val kset_one_round : t
+(** Theorem 3.1's one-round algorithm ({!Rrfd.Kset.one_round}). *)
+
+val consensus : t
+(** The same algorithm run for consensus ({!Rrfd.Kset.consensus}). *)
+
+val adopt_commit : t
+(** The two-round adopt-commit protocol ({!Rrfd.Adopt_commit.algorithm}),
+    decisions packed through {!Property.encode_outcome}. *)

@@ -61,6 +61,56 @@ let cumulative_union_upto h ~round =
 let of_rounds ~n l =
   List.fold_left append (empty ~n) l
 
+(* Rounds first-round-first, as fresh arrays — the raw material every
+   surgery operation below rebuilds from (through [of_rounds], so each
+   result is re-validated). *)
+let to_rounds h = List.rev_map Array.copy h.rounds
+
+let update h ~round ~proc s =
+  if proc < 0 || proc >= h.n then invalid_arg "Fault_history.update: proc out of range";
+  if round < 1 || round > h.count then
+    invalid_arg "Fault_history.update: round out of range";
+  if not (Pset.subset s (Pset.full h.n)) then
+    invalid_arg "Fault_history.update: fault set mentions process out of range";
+  of_rounds ~n:h.n
+    (List.mapi
+       (fun i sets ->
+         if i + 1 = round then (
+           let sets = Array.copy sets in
+           sets.(proc) <- s;
+           sets)
+         else sets)
+       (to_rounds h))
+
+let drop_round h ~round =
+  if round < 1 || round > h.count then
+    invalid_arg "Fault_history.drop_round: round out of range";
+  of_rounds ~n:h.n
+    (List.filteri (fun i _ -> i + 1 <> round) (to_rounds h))
+
+let truncate h ~rounds =
+  if rounds < 0 || rounds > h.count then
+    invalid_arg "Fault_history.truncate: round count out of range";
+  of_rounds ~n:h.n (List.filteri (fun i _ -> i < rounds) (to_rounds h))
+
+let remove_proc h ~proc =
+  if proc < 0 || proc >= h.n then
+    invalid_arg "Fault_history.remove_proc: proc out of range";
+  if h.n = 1 then invalid_arg "Fault_history.remove_proc: need n > 1";
+  let renumber s =
+    Pset.fold
+      (fun j acc ->
+        if j = proc then acc
+        else Pset.add (if j > proc then j - 1 else j) acc)
+      s Pset.empty
+  in
+  of_rounds ~n:(h.n - 1)
+    (List.map
+       (fun sets ->
+         Array.init (h.n - 1) (fun i ->
+             renumber sets.(if i >= proc then i + 1 else i)))
+       (to_rounds h))
+
 let equal a b =
   a.n = b.n && a.count = b.count
   && List.for_all2 (fun ra rb -> Array.for_all2 Pset.equal ra rb) a.rounds b.rounds
@@ -130,13 +180,12 @@ let of_string_compact text =
     List.fold_left (fun h r -> append h (parse_round r)) (empty ~n) rounds_text
 
 let pp ppf h =
-  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "@[<v>n=%d, %d round(s)" h.n h.count;
   ignore
     (fold_rounds
-       (fun r sets first ->
-         if not first then Format.fprintf ppf "@,";
-         Format.fprintf ppf "round %d:" r;
+       (fun r sets () ->
+         Format.fprintf ppf "@,round %d:" r;
          Array.iteri (fun i s -> Format.fprintf ppf " D(%d)=%a" i Pset.pp s) sets;
-         false)
-       h true);
+         ())
+       h ());
   Format.fprintf ppf "@]"

@@ -56,6 +56,32 @@ val of_rounds : n:int -> Pset.t array list -> t
 (** [of_rounds ~n l] builds a history from explicit per-round arrays, first
     round first.  Same validity requirements as {!append}. *)
 
+(** {1 Surgery}
+
+    Point edits used by the schedule-space shrinker ({!Check.Shrink}): each
+    returns a fresh, validated history and leaves the original untouched. *)
+
+val update : t -> round:int -> proc:Proc.t -> Pset.t -> t
+(** [update h ~round ~proc s] replaces [D(proc,round)] with [s].
+    @raise Invalid_argument if the round or process is out of range, or [s]
+    mentions a process outside the system. *)
+
+val drop_round : t -> round:int -> t
+(** [drop_round h ~round] deletes round [round]; later rounds shift down by
+    one.  @raise Invalid_argument if the round is out of range. *)
+
+val truncate : t -> rounds:int -> t
+(** [truncate h ~rounds] keeps only the first [rounds] rounds — the
+    [rounds]-prefix of [h].
+    @raise Invalid_argument if [rounds < 0] or [rounds > rounds h]. *)
+
+val remove_proc : t -> proc:Proc.t -> t
+(** [remove_proc h ~proc] deletes process [proc] from the system: its fault
+    sets disappear, it is erased from everybody else's sets, and processes
+    above it renumber down by one.  The result is a history of an
+    [(n−1)]-process system with the same number of rounds.
+    @raise Invalid_argument if [proc] is out of range or [n h = 1]. *)
+
 val equal : t -> t -> bool
 (** Same process count and identical fault sets in every round. *)
 
@@ -70,3 +96,8 @@ val of_string_compact : string -> t
     @raise Invalid_argument on malformed input. *)
 
 val pp : Format.formatter -> t -> unit
+(** Human-readable multi-line rendering (one line per round, prefixed by a
+    [n=…, k round(s)] header).  Paired with {!equal} this makes histories
+    first-class [Alcotest.testable]/qcheck-printable values, so failing
+    tests and shrinker traces show the offending history instead of
+    [<abstr>]. *)

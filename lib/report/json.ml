@@ -71,6 +71,45 @@ let to_string j =
   write buf j;
   Buffer.contents buf
 
+(* Indented rendering, two spaces per level.  Scalars and empty containers
+   stay on one line; the grammar emitted is the same as [write]'s, so
+   [of_string] reads both forms identically. *)
+let rec write_pretty buf indent = function
+  | (Null | Bool _ | Number _ | String _) as scalar -> write buf scalar
+  | List [] -> Buffer.add_string buf "[]"
+  | Obj [] -> Buffer.add_string buf "{}"
+  | List l ->
+    let pad = String.make ((indent + 1) * 2) ' ' in
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf pad;
+        write_pretty buf (indent + 1) x)
+      l;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (String.make (indent * 2) ' ');
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    let pad = String.make ((indent + 1) * 2) ' ' in
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf pad;
+        escape_string buf k;
+        Buffer.add_string buf ": ";
+        write_pretty buf (indent + 1) v)
+      fields;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (String.make (indent * 2) ' ');
+    Buffer.add_char buf '}'
+
+let to_string_pretty j =
+  let buf = Buffer.create 1024 in
+  write_pretty buf 0 j;
+  Buffer.contents buf
+
 (* ------------------------------------------------------------------ *)
 (* Parser: recursive descent over the raw bytes.                       *)
 

@@ -24,6 +24,11 @@ val to_string : t -> string
     untouched, so UTF-8 input stays UTF-8.  Non-finite numbers render as
     [null]. *)
 
+val to_string_pretty : t -> string
+(** Indented rendering (two spaces per level) for artifacts meant to be
+    read by humans — the model checker's counterexample files.  Parses back
+    identically to {!to_string} output. *)
+
 val of_string : string -> t
 (** Parse a complete JSON document.
     @raise Error on malformed input or trailing garbage. *)

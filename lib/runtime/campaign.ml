@@ -4,6 +4,10 @@ let run ?jobs ~seed ~trials f =
 
 let run_stats ?jobs ~seed ~trials f = Stats.of_array (run ?jobs ~seed ~trials f)
 
+let search ?jobs ~seed ~trials f =
+  Pool.search ?jobs ~n:trials (fun i ->
+      f ~trial:i ~rng:(Dsim.Rng.derive ~seed ~stream:i))
+
 let map ?jobs ~seed items f =
   let items = Array.of_list items in
   Pool.map_range ?jobs ~n:(Array.length items) (fun i ->

@@ -30,6 +30,18 @@ val run_stats :
 (** [run_stats] is {!run} followed by {!Stats.of_array}: the campaign's
     observations summarised for a table cell. *)
 
+val search :
+  ?jobs:int ->
+  seed:int ->
+  trials:int ->
+  (trial:int -> rng:Dsim.Rng.t -> 'a option) ->
+  'a option
+(** [search ~jobs ~seed ~trials f] is {!Pool.search} with per-trial RNG
+    derivation: the returned hit is the one of the {e lowest} trial index,
+    so a fuzzing campaign reports the same counterexample at every [-j].
+    Trials above the best hit so far are skipped (early exit); trials below
+    it always run. *)
+
 val map :
   ?jobs:int ->
   seed:int ->

@@ -44,6 +44,46 @@ let map_range ?jobs ~n f =
     Array.map (function Some v -> v | None -> assert false) results
   end
 
+(* Deterministic parallel first-hit search.  Every index below the current
+   best hit is still evaluated (skipping applies only above it), so the
+   final answer is the hit with the smallest index — the same one a serial
+   left-to-right scan finds — no matter how chunks were scheduled. *)
+let search ?jobs ~n f =
+  let jobs = match jobs with Some j -> j | None -> recommended_jobs () in
+  if n <= 0 then None
+  else if jobs <= 1 then begin
+    let rec scan i =
+      if i >= n then None
+      else match f i with Some _ as hit -> hit | None -> scan (i + 1)
+    in
+    scan 0
+  end
+  else begin
+    let results = Array.make n None in
+    let best = Atomic.make n in
+    let lower_best i =
+      let rec cas () =
+        let cur = Atomic.get best in
+        if i < cur && not (Atomic.compare_and_set best cur i) then cas ()
+      in
+      cas ()
+    in
+    run_chunked ~jobs ~n (fun start stop ->
+        for i = start to stop - 1 do
+          if i < Atomic.get best then
+            match f i with
+            | None -> ()
+            | Some _ as hit ->
+              results.(i) <- hit;
+              lower_best i
+        done);
+    let rec first i =
+      if i >= n then None
+      else match results.(i) with Some _ as hit -> hit | None -> first (i + 1)
+    in
+    first 0
+  end
+
 let iter_range ?jobs ~n f =
   let jobs = match jobs with Some j -> j | None -> recommended_jobs () in
   if n <= 0 then ()

@@ -21,3 +21,12 @@ val map_range : ?jobs:int -> n:int -> (int -> 'a) -> 'a array
 
 val iter_range : ?jobs:int -> n:int -> (int -> unit) -> unit
 (** [iter_range ~jobs ~n f] is {!map_range} without materialising results. *)
+
+val search : ?jobs:int -> n:int -> (int -> 'a option) -> 'a option
+(** [search ~jobs ~n f] evaluates [f] over [\[0, n)] in parallel and returns
+    the hit with the {e smallest} index — exactly what a serial
+    left-to-right scan returns, at every [jobs].  Determinism costs only a
+    little completeness of the early exit: indices {e above} the best hit
+    found so far are skipped, indices below it are always evaluated.  Used
+    by the model checker to hunt for the first counterexample across
+    domains without making "first" scheduling-dependent. *)

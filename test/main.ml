@@ -4,6 +4,7 @@ let () =
       ("pset", Test_pset.tests);
       ("dsim", Test_dsim.tests);
       ("history+predicate", Test_history_predicate.tests);
+      ("prefix-closure", Test_prefix_closure.tests);
       ("detector-gen", Test_detector_gen.tests);
       ("engine+kset", Test_engine_kset.tests);
       ("adopt-commit", Test_adopt_commit.tests);
@@ -30,4 +31,5 @@ let () =
       ("registry", Test_registry.tests);
       ("runtime", Test_runtime.tests);
       ("report", Test_report.tests);
+      ("check", Test_check.tests);
     ]

@@ -1,0 +1,216 @@
+(* The lib/check model checker: generator soundness, shrinking,
+   deterministic parallel search, artifact round-trips, and the seeded
+   end-to-end find → shrink → replay pipeline the CLI exposes. *)
+
+module H = Rrfd.Fault_history
+
+let ok_spec = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+let kset3 = ok_spec (Check.Spec.predicate "kset:k=3")
+let kset2 = ok_spec (Check.Spec.predicate "kset:k=2")
+let k_agreement2 = ok_spec (Check.Spec.property "k-agreement:k=2")
+
+(* Gen --------------------------------------------------------------- *)
+
+let gen_round_never_full =
+  QCheck.Test.make ~name:"Gen.round_sets never outputs D = S" ~count:500
+    (Test_support.sized_seed ~max_n:8 ())
+    (fun (n, seed) ->
+      let sets = Check.Gen.round_sets (Test_support.rng_of seed) ~n in
+      Array.for_all
+        (fun s -> not (Rrfd.Pset.equal s (Rrfd.Pset.full n)))
+        sets)
+
+let gen_respects_predicate =
+  QCheck.Test.make ~name:"Gen.history satisfies its predicate" ~count:300
+    (Test_support.sized_seed ~min_n:3 ~max_n:6 ())
+    (fun (n, seed) ->
+      let p = Rrfd.Predicate.async_resilient ~f:2 in
+      match
+        Check.Gen.history (Test_support.rng_of seed) ~n ~rounds:2 ~satisfying:p
+      with
+      | None -> true
+      | Some h ->
+        H.rounds h = 2 && H.n h = n && Rrfd.Predicate.holds p h)
+
+(* Deterministic parallel search ------------------------------------- *)
+
+let pool_search_first_hit () =
+  let f i = if i > 10 && i mod 7 = 3 then Some (i * i) else None in
+  let expect = Some 289 (* i = 17, the lowest qualifying index *) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "first hit at -j %d" jobs)
+        expect
+        (Runtime.Pool.search ~jobs ~n:100 f))
+    [ 1; 2; 4; 8 ];
+  Alcotest.(check (option int)) "no hit" None
+    (Runtime.Pool.search ~jobs:4 ~n:10 f)
+
+let campaign_search_j_invariant =
+  QCheck.Test.make ~name:"Campaign.search is -j invariant" ~count:30
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let f ~trial ~rng =
+        let x = Dsim.Rng.int rng 1000 in
+        if x < 25 then Some (trial, x) else None
+      in
+      let serial = Runtime.Campaign.search ~jobs:1 ~seed ~trials:200 f in
+      List.for_all
+        (fun jobs ->
+          Runtime.Campaign.search ~jobs ~seed ~trials:200 f = serial)
+        [ 2; 4; 8 ])
+
+(* Shrinking --------------------------------------------------------- *)
+
+let shrink_candidates_well_formed =
+  QCheck.Test.make ~name:"Shrink.candidates never propose D = S" ~count:300
+    (Test_support.history_arb ~max_n:5 ())
+    (fun h ->
+      List.for_all
+        (fun c ->
+          let n = H.n c in
+          let full = Rrfd.Pset.full n in
+          let ok = ref true in
+          for r = 1 to H.rounds c do
+            Array.iter
+              (fun s -> if Rrfd.Pset.equal s full then ok := false)
+              (H.round_sets c ~round:r)
+          done;
+          !ok)
+        (Check.Shrink.candidates h))
+
+let shrink_strictly_smaller =
+  QCheck.Test.make ~name:"Shrink.candidates strictly shrink" ~count:300
+    (Test_support.history_arb ~max_n:5 ())
+    (fun h ->
+      let weight h =
+        let total = ref (H.n h + H.rounds h) in
+        for r = 1 to H.rounds h do
+          Array.iter
+            (fun s -> total := !total + Rrfd.Pset.cardinal s)
+            (H.round_sets h ~round:r)
+        done;
+        !total
+      in
+      let w = weight h in
+      List.for_all (fun c -> weight c < w) (Check.Shrink.candidates h))
+
+(* End-to-end: the acceptance-criteria scenario ---------------------- *)
+
+let fuzz_config : Check.Checker.fuzz_config =
+  { n = 4; rounds = 1; trials = 500; seed = 7; jobs = Some 2; attempts = 64 }
+
+let seeded_violation () =
+  match
+    Check.Checker.fuzz fuzz_config ~sut:Check.Sut.kset_one_round
+      ~predicate:kset3 ~properties:[ k_agreement2 ] ()
+  with
+  | None -> Alcotest.fail "seeded k-set violation not found"
+  | Some ce -> ce
+
+let fuzz_finds_and_shrinks () =
+  let ce = seeded_violation () in
+  Alcotest.(check int) "shrunk to 3 processes" 3 (H.n ce.Check.Checker.history);
+  Alcotest.(check int) "shrunk to 1 round" 1 (H.rounds ce.Check.Checker.history);
+  (* 1-minimality: no single shrink step keeps both predicate and failure. *)
+  let still_fails h =
+    snd
+      (Check.Checker.test_history ~sut:Check.Sut.kset_one_round
+         ~predicate:kset3 ~properties:[ k_agreement2 ] h)
+    <> None
+  in
+  List.iter
+    (fun c ->
+      if Rrfd.Predicate.holds kset3 c && still_fails c then
+        Alcotest.failf "not 1-minimal: %s still fails" (H.to_string_compact c))
+    (Check.Shrink.candidates ce.Check.Checker.history)
+
+let exhaustive_agrees_with_fuzz () =
+  let ce = seeded_violation () in
+  match
+    Check.Checker.exhaustive ~jobs:2 ~n:3 ~rounds:1
+      ~sut:Check.Sut.kset_one_round ~predicate:kset3
+      ~properties:[ k_agreement2 ] ()
+  with
+  | None -> Alcotest.fail "exhaustive search missed the violation"
+  | Some exh ->
+    Alcotest.(check Test_support.history_t)
+      "fuzz and exhaustive shrink to the same minimal history"
+      exh.Check.Checker.history ce.Check.Checker.history
+
+let exhaustive_proves_safety () =
+  match
+    Check.Checker.exhaustive ~n:3 ~rounds:1 ~sut:Check.Sut.kset_one_round
+      ~predicate:kset2 ~properties:[ k_agreement2 ] ()
+  with
+  | None -> ()
+  | Some ce ->
+    Alcotest.failf "k-set(k=2) should be safe, got %s"
+      (H.to_string_compact ce.Check.Checker.history)
+
+(* Replay padding: a pinned history shorter than the SUT's horizon gets
+   failure-free rounds appended, so the protocol still terminates. *)
+let short_history_padded () =
+  let obs =
+    Check.Sut.run_history Check.Sut.adopt_commit ~check:Rrfd.Predicate.always
+      (H.empty ~n:2)
+  in
+  Alcotest.(check int) "padded to the 2-round horizon" 2
+    (H.rounds obs.Check.Property.history);
+  Array.iter
+    (fun d -> Alcotest.(check bool) "everyone decided" true (Option.is_some d))
+    obs.Check.Property.decisions
+
+(* Artifact ---------------------------------------------------------- *)
+
+let artifact_roundtrip_and_replay () =
+  let ce = seeded_violation () in
+  let artifact =
+    Check.Artifact.make ~sut_spec:"kset-one-round" ~predicate_spec:"kset:k=3"
+      ~property_specs:[ "k-agreement:k=2" ] ~seed:fuzz_config.Check.Checker.seed
+      ce
+  in
+  let reread =
+    Check.Artifact.of_json
+      (Report.Json.of_string
+         (Report.Json.to_string_pretty (Check.Artifact.to_json artifact)))
+  in
+  Alcotest.(check Test_support.history_t)
+    "history survives the JSON round-trip"
+    ce.Check.Checker.history
+    reread.Check.Artifact.counterexample.Check.Checker.history;
+  Alcotest.(check string) "failure text survives" ce.Check.Checker.failure
+    reread.Check.Artifact.counterexample.Check.Checker.failure;
+  match Check.Artifact.replay reread with
+  | Error e -> Alcotest.failf "replay refused: %s" e
+  | Ok r ->
+    Alcotest.(check bool) "replay reproduces the decision vector" true
+      (Check.Artifact.reproduced r)
+
+let tests =
+  [
+    Alcotest.test_case "Pool.search first hit is -j invariant" `Quick
+      pool_search_first_hit;
+    Alcotest.test_case "fuzz finds and 1-minimally shrinks" `Quick
+      fuzz_finds_and_shrinks;
+    Alcotest.test_case "exhaustive agrees with fuzz" `Quick
+      exhaustive_agrees_with_fuzz;
+    Alcotest.test_case "exhaustive proves k=2 safe" `Quick
+      exhaustive_proves_safety;
+    Alcotest.test_case "short histories padded to horizon" `Quick
+      short_history_padded;
+    Alcotest.test_case "artifact JSON round-trip + replay" `Quick
+      artifact_roundtrip_and_replay;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        gen_round_never_full;
+        gen_respects_predicate;
+        campaign_search_j_invariant;
+        shrink_candidates_well_formed;
+        shrink_strictly_smaller;
+      ]

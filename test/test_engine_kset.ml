@@ -3,7 +3,7 @@
 module Pset = Rrfd.Pset
 module Engine = Rrfd.Engine
 
-let s = Pset.of_list
+let s = Test_support.pset
 
 (* A probe algorithm that records what it observes. *)
 type probe = {
@@ -91,10 +91,10 @@ let kset_one_round_example () =
 let kset_property =
   QCheck.Test.make ~name:"Thm 3.1: ≤ k distinct decisions in one round"
     ~count:500
-    QCheck.(triple (int_range 2 16) (int_bound 100000) (int_range 1 8))
+    (Test_support.sized_seed_plus ~max_n:16 QCheck.(int_range 1 8))
     (fun (n, seed, k_raw) ->
       let k = 1 + (k_raw mod n) in
-      let rng = Dsim.Rng.create seed in
+      let rng = Test_support.rng_of seed in
       let inputs = Array.init n (fun i -> 1000 + i) in
       let detector = Rrfd.Detector_gen.k_set rng ~n ~k in
       let outcome =
@@ -113,9 +113,9 @@ let kset_property =
 
 let consensus_under_identical_views =
   QCheck.Test.make ~name:"consensus under equation-5 detectors" ~count:300
-    QCheck.(pair (int_range 2 16) (int_bound 100000))
+    (Test_support.sized_seed ~max_n:16 ())
     (fun (n, seed) ->
-      let rng = Dsim.Rng.create seed in
+      let rng = Test_support.rng_of seed in
       let inputs = Array.init n (fun i -> 7 * i) in
       let detector = Rrfd.Detector_gen.identical rng ~n in
       let outcome =

@@ -122,6 +122,56 @@ let identical_pred () =
     (history 3 [ [ s [ 1 ]; s [ 1 ]; s [] ] ])
     "views differ"
 
+(* Surgery operations (what the lib/check shrinker is built on). *)
+
+let history_t = Test_support.history_t
+
+let surgery_update () =
+  let h = history 3 [ [ s [ 1 ]; s []; s [ 0; 1 ] ]; [ s []; s [ 2 ]; s [] ] ] in
+  let h' = H.update h ~round:1 ~proc:2 (s [ 0 ]) in
+  Alcotest.(check Test_support.pset_t) "slot replaced" (s [ 0 ])
+    (H.d h' ~proc:2 ~round:1);
+  Alcotest.(check Test_support.pset_t) "other slots untouched" (s [ 2 ])
+    (H.d h' ~proc:1 ~round:2);
+  Alcotest.(check history_t) "original unchanged"
+    (history 3 [ [ s [ 1 ]; s []; s [ 0; 1 ] ]; [ s []; s [ 2 ]; s [] ] ])
+    h
+
+let surgery_drop_round () =
+  let h = history 3 [ [ s [ 1 ]; s []; s [] ]; [ s []; s [ 2 ]; s [] ] ] in
+  Alcotest.(check history_t) "drop first round"
+    (history 3 [ [ s []; s [ 2 ]; s [] ] ])
+    (H.drop_round h ~round:1);
+  Alcotest.(check history_t) "drop last round"
+    (history 3 [ [ s [ 1 ]; s []; s [] ] ])
+    (H.drop_round h ~round:2)
+
+let surgery_truncate () =
+  let h = history 3 [ [ s [ 1 ]; s []; s [] ]; [ s []; s [ 2 ]; s [] ] ] in
+  Alcotest.(check history_t) "truncate to 1"
+    (history 3 [ [ s [ 1 ]; s []; s [] ] ])
+    (H.truncate h ~rounds:1);
+  Alcotest.(check history_t) "truncate to 0" (H.empty ~n:3)
+    (H.truncate h ~rounds:0);
+  Alcotest.(check history_t) "truncate to full length is identity" h
+    (H.truncate h ~rounds:2)
+
+let surgery_remove_proc () =
+  (* Removing p1 from {p0,p1,p2}: ids above shift down, sets renumber. *)
+  let h = history 3 [ [ s [ 1 ]; s [ 2 ]; s [ 0; 1 ] ] ] in
+  Alcotest.(check history_t) "p1 removed, p2 becomes p1"
+    (history 2 [ [ s []; s [ 0 ] ] ])
+    (H.remove_proc h ~proc:1);
+  Alcotest.check_raises "cannot remove the last process"
+    (Invalid_argument "Fault_history.remove_proc: need n > 1") (fun () ->
+      ignore (H.remove_proc (H.empty ~n:1) ~proc:0))
+
+let compact_roundtrip =
+  QCheck.Test.make ~name:"to_string_compact/of_string_compact round-trip"
+    ~count:500
+    (Test_support.history_arb ~min_n:1 ~max_n:6 ())
+    (fun h -> H.equal h (H.of_string_compact (H.to_string_compact h)))
+
 let contains haystack needle =
   let lh = String.length haystack and ln = String.length needle in
   let rec go i = i + ln <= lh && (String.sub haystack i ln = needle || go (i + 1)) in
@@ -148,4 +198,9 @@ let tests =
     Alcotest.test_case "k-set" `Quick k_set_pred;
     Alcotest.test_case "identical views" `Quick identical_pred;
     Alcotest.test_case "explain names round" `Quick explain_names_round;
+    Alcotest.test_case "surgery: update" `Quick surgery_update;
+    Alcotest.test_case "surgery: drop_round" `Quick surgery_drop_round;
+    Alcotest.test_case "surgery: truncate" `Quick surgery_truncate;
+    Alcotest.test_case "surgery: remove_proc" `Quick surgery_remove_proc;
   ]
+  @ List.map QCheck_alcotest.to_alcotest [ compact_roundtrip ]

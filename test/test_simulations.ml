@@ -13,13 +13,14 @@ let omission_simulation_property =
   QCheck.Test.make
     ~name:"Thm 4.1: snapshot histories with k failures stay within omission-f"
     ~count:400
-    QCheck.(triple (int_range 3 12) (int_bound 100000) (pair (int_range 1 3) (int_range 1 3)))
+    (Test_support.sized_seed_plus ~min_n:3 ~max_n:12
+       QCheck.(pair (int_range 1 3) (int_range 1 3)))
     (fun (n, seed, (k_raw, mult)) ->
       let k = 1 + (k_raw mod (n - 1)) in
       let f = min (n - 1) (k * mult) in
       if f < k then true
       else begin
-        let rng = Dsim.Rng.create seed in
+        let rng = Test_support.rng_of seed in
         let inputs = Array.init n Fun.id in
         let result =
           Rrfd.Sim_omission.simulate ~n ~f ~k
@@ -33,7 +34,7 @@ let omission_simulation_property =
       end)
 
 let run_crash_sim ~n ~k ~sync_rounds ~seed =
-  let rng = Dsim.Rng.create seed in
+  let rng = Test_support.rng_of seed in
   let inputs = Array.init n (fun i -> 100 + i) in
   let sync = Syncnet.Flood.min_flood ~inputs ~horizon:sync_rounds in
   let algorithm = Rrfd.Sim_crash.algorithm ~sync in
@@ -62,7 +63,7 @@ let crash_simulation_property =
     ~name:
       "Thm 4.3: 3k async rounds simulate ⌊f/k⌋ synchronous crash rounds"
     ~count:300
-    QCheck.(triple (int_range 3 10) (int_bound 100000) (int_range 1 2))
+    (Test_support.sized_seed_plus ~min_n:3 ~max_n:10 QCheck.(int_range 1 2))
     (fun (n, seed, k_raw) ->
       let k = 1 + (k_raw mod (n - 2)) in
       let sync_rounds = 2 in
@@ -89,7 +90,7 @@ let crash_simulation_preserves_flooding =
   QCheck.Test.make
     ~name:"simulated flooding obeys the ⌊c/R⌋+1 agreement bound (Cor 4.4 shape)"
     ~count:200
-    QCheck.(pair (int_range 4 9) (int_bound 100000))
+    (Test_support.sized_seed ~min_n:4 ~max_n:9 ())
     (fun (n, seed) ->
       let k = 1 in
       let sync_rounds = 3 in

@@ -44,9 +44,9 @@ let borrow_path_exercised () =
 
 let scans_never_go_backwards =
   QCheck.Test.make ~name:"per-process scan sequences are monotone" ~count:300
-    QCheck.(pair (int_range 2 6) (int_bound 100000))
+    (Test_support.sized_seed ~max_n:6 ())
     (fun (n, seed) ->
-      let rng = Dsim.Rng.create seed in
+      let rng = Test_support.rng_of seed in
       let per_proc_scans = Array.make n [] in
       let body ~proc =
         for i = 1 to 3 do
@@ -77,9 +77,9 @@ let scans_never_go_backwards =
 
 let own_update_visible =
   QCheck.Test.make ~name:"a scan after own update reflects it" ~count:300
-    QCheck.(pair (int_range 1 6) (int_bound 100000))
+    (Test_support.sized_seed ~min_n:1 ~max_n:6 ())
     (fun (n, seed) ->
-      let rng = Dsim.Rng.create seed in
+      let rng = Test_support.rng_of seed in
       let ok = ref true in
       let body ~proc =
         S.update ~proc 41;
