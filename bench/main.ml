@@ -138,6 +138,24 @@ let bench_round_layer n =
            ~algorithm:(Rrfd.Full_info.algorithm ~inputs)
            ()))
 
+(* The round layer with the adversary and its repair protocol active: what
+   fault injection costs on top of the clean path above. *)
+let bench_faultnet_round_layer n =
+  let counter = ref 0 in
+  let adversary =
+    match Msgnet.Adversary.of_spec "drop:p=20+dup:p=20" with
+    | Ok a -> a
+    | Error e -> failwith e
+  in
+  Staged.stage (fun () ->
+      incr counter;
+      let inputs = Tasks.Inputs.distinct n in
+      ignore
+        (Msgnet.Round_layer.run ~seed:!counter ~adversary ~n ~f:((n - 1) / 2)
+           ~rounds:3
+           ~algorithm:(Rrfd.Full_info.algorithm ~inputs)
+           ()))
+
 let bench_abd_write_read n =
   let counter = ref 0 in
   Staged.stage (fun () ->
@@ -232,6 +250,8 @@ let tests =
         ~args:[ 4; 16; 32 ] bench_ring_baseline;
       Test.make_indexed ~name:"msgnet-round-layer" ~fmt:"%s n=%d" ~args:[ 4; 8 ]
         bench_round_layer;
+      Test.make_indexed ~name:"faultnet-round-layer" ~fmt:"%s n=%d"
+        ~args:[ 4; 8 ] bench_faultnet_round_layer;
       Test.make_indexed ~name:"sync-floodset" ~fmt:"%s n=%d" ~args:[ 4; 8; 16 ]
         bench_sync_flood;
       Test.make_indexed ~name:"sync-early-deciding" ~fmt:"%s n=%d"

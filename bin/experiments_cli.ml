@@ -1,8 +1,9 @@
-(* Command-line runner for the paper's experiments (E1-E14).
+(* Command-line runner for the paper's experiments (E1-E21).
 
    `rrfd-experiments list`            enumerate experiments
    `rrfd-experiments run E6 E9`       run selected experiments
    `rrfd-experiments all`             run everything
+   `rrfd-experiments faultnet`        fault-injection + heard-of replay
    options: --seed, --trials, -j/--jobs *)
 
 open Cmdliner
@@ -89,7 +90,7 @@ let all_cmd =
          (fun e -> e.Experiments.Registry.run ~seed ~trials ~jobs)
          Experiments.Registry.all)
   in
-  Cmd.v (Cmd.info "all" ~doc:"Run every experiment (E1-E19).")
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment (E1-E21).")
     Term.(const run $ seed_arg $ trials_arg $ jobs_arg)
 
 (* `lattice` — print the submodel relation between two named predicates at
@@ -396,6 +397,149 @@ let check_cmd =
       $ generator_arg $ property_arg $ n_arg $ rounds_arg $ attempts_arg
       $ exhaustive_arg $ save_arg $ expect_arg $ replay_arg $ trace_flag)
 
+(* `faultnet` — drive the fault-injection network layer: run one adversary
+   spec through the round layer and the heard-of differential oracle, or
+   reproduce the full E21 grid, optionally writing a deterministic JSON
+   artifact (the -j smoke gate compares those byte-for-byte). *)
+let faultnet_cmd =
+  let adversary_arg =
+    let doc =
+      "Adversary policy, atoms joined with '+': " ^ Check.Spec.adversary_names
+      ^ ".  Probabilities are percentages, e.g. \
+         drop:p=20+dup:p=10,copies=2."
+    in
+    Arg.(
+      value & opt string "drop:p=20" & info [ "adversary" ] ~docv:"SPEC" ~doc)
+  in
+  let n_arg = Arg.(value & opt int 5 & info [ "n" ] ~doc:"System size.") in
+  let f_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "f" ] ~doc:"Resilience (default: a minority, (n-1)/2).")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 4 & info [ "rounds" ] ~doc:"Simulated rounds.")
+  in
+  let grid_arg =
+    let doc =
+      "Run the full E21 adversary grid instead of a single spec \
+       (--adversary/-n/--f/--rounds are ignored)."
+    in
+    Arg.(value & flag & info [ "grid" ] ~doc)
+  in
+  let json_arg =
+    let doc =
+      "With $(b,--grid): also write the table and every trial's extracted \
+       history to $(docv) as compact JSON.  The output depends only on \
+       --seed and --trials — never on -j — which is what the faultnet \
+       smoke gate compares."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let or_die = function
+    | Ok v -> v
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  let run_single ~seed ~spec ~n ~f ~rounds =
+    let adversary = or_die (Check.Spec.adversary spec) in
+    let d =
+      Msgnet.Round_layer.differential ~seed ~adversary
+        ~equal:Rrfd.Full_info.equal ~n ~f ~rounds
+        ~algorithm:(Rrfd.Full_info.algorithm ~inputs:(Tasks.Inputs.distinct n))
+        ()
+    in
+    let o = d.Msgnet.Round_layer.outcome in
+    Printf.printf "faultnet: %s over n=%d f=%d rounds=%d (seed %d)\n" spec n f
+      rounds seed;
+    Printf.printf "  messages: sent=%d delivered=%d dropped=%d duplicated=%d\n"
+      o.Msgnet.Round_layer.messages_sent o.Msgnet.Round_layer.messages_delivered
+      o.Msgnet.Round_layer.messages_dropped
+      o.Msgnet.Round_layer.messages_duplicated;
+    Printf.printf "  completed rounds: %s  (virtual time %.1f)\n"
+      (String.concat " "
+         (Array.to_list
+            (Array.map string_of_int o.Msgnet.Round_layer.completed)))
+      o.Msgnet.Round_layer.virtual_time;
+    let induced = o.Msgnet.Round_layer.induced in
+    Format.printf "  induced history:@;<1 4>@[<v>%a@]@." Rrfd.Fault_history.pp
+      induced;
+    Printf.printf "  compact: %s\n"
+      (Rrfd.Fault_history.to_string_compact induced);
+    let held = Msgnet.Heard_of.classify ~f induced in
+    Printf.printf "  predicates (f=%d): %s\n" f
+      (String.concat "  "
+         (List.map
+            (fun (p, b) -> Printf.sprintf "%s=%s" p (if b then "yes" else "no"))
+            held));
+    let p3 = List.assoc "P3" held in
+    if d.Msgnet.Round_layer.matched then
+      Printf.printf "  replay: engine decisions match the network's%s.\n"
+        (if d.Msgnet.Round_layer.all_completed then ""
+         else " over the completed prefix")
+    else Printf.printf "  replay: DIVERGED from the abstract engine.\n";
+    if not p3 then
+      Printf.printf
+        "  P3 VIOLATED: some D(i,r) exceeds f — the round layer's guarantee \
+         broke.\n";
+    if d.Msgnet.Round_layer.matched && p3 then 0 else 1
+  in
+  let run_grid ~seed ~trials ~jobs ~json =
+    let table, histories =
+      Experiments.E21_faultnet.run_detailed ~seed ?trials ?jobs ()
+    in
+    Experiments.Table.print table;
+    Option.iter
+      (fun path ->
+        let str s = Report.Json.String s in
+        let j =
+          Report.Json.Obj
+            [
+              ("id", str table.Experiments.Table.id);
+              ("seed", Report.Json.Number (float_of_int seed));
+              ("header", Report.Json.List (List.map str table.Experiments.Table.header));
+              ( "rows",
+                Report.Json.List
+                  (List.map
+                     (fun row -> Report.Json.List (List.map str row))
+                     table.Experiments.Table.rows) );
+              ("ok", Report.Json.Bool (Experiments.Table.ok table));
+              ( "histories",
+                Report.Json.Obj
+                  (List.map
+                     (fun (spec, hs) ->
+                       (spec, Report.Json.List (List.map str hs)))
+                     histories) );
+            ]
+        in
+        let oc = open_out path in
+        output_string oc (Report.Json.to_string j);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "grid artifact written to %s\n" path)
+      json;
+    if Experiments.Table.ok table then 0 else 1
+  in
+  let run seed trials jobs spec n f rounds grid json =
+    setup_logs ();
+    if grid then run_grid ~seed ~trials ~jobs ~json
+    else
+      let f = match f with Some f -> f | None -> (n - 1) / 2 in
+      run_single ~seed ~spec ~n ~f ~rounds
+  in
+  Cmd.v
+    (Cmd.info "faultnet"
+       ~doc:
+         "Damage the asynchronous network with a fault-injection adversary, \
+          extract the induced heard-of fault history, classify it against \
+          the paper's predicate ladder and differentially replay it on the \
+          abstract engine — for one spec, or the whole E21 grid.")
+    Term.(
+      const run $ seed_arg $ trials_arg $ jobs_arg $ adversary_arg $ n_arg
+      $ f_arg $ rounds_arg $ grid_arg $ json_arg)
+
 let main =
   let doc =
     "Reproduce the results of Gafni's 'Round-by-Round Fault Detectors' \
@@ -403,6 +547,7 @@ let main =
   in
   Cmd.group
     (Cmd.info "rrfd-experiments" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; all_cmd; lattice_cmd; trace_cmd; check_cmd ]
+    [ list_cmd; run_cmd; all_cmd; lattice_cmd; trace_cmd; check_cmd;
+      faultnet_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -124,6 +124,13 @@ let property spec =
           (Printf.sprintf "unknown property %S; choose from: %s" spec
              property_names))
 
+(* Adversary policies share the same [name:k=v,...] grammar; the parser
+   lives in Msgnet.Adversary (msgnet cannot depend on check) and this is
+   the vocabulary's front door for the CLI and artifacts. *)
+let adversary_names = Msgnet.Adversary.spec_names
+
+let adversary spec = Msgnet.Adversary.of_spec spec
+
 let default_properties s =
   if Sut.name s = "adopt-commit" then [ "adopt-commit" ]
   else [ "termination"; "validity"; "agreement" ]

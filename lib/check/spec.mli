@@ -30,6 +30,12 @@ val property : string -> (Property.t, string) result
 (** [agreement], [k-agreement:k=_], [validity], [termination],
     [adopt-commit]. *)
 
+val adversary : string -> (Msgnet.Adversary.t, string) result
+(** Network fault-injection policies in the same grammar, atoms joined
+    with [+]: [none], [drop:p=_], [dup:p=_,copies=_], [spike:p=_,factor=_],
+    [reorder:p=_,window=_], [partition:at=_,heal=_,left=_] — probabilities
+    as percentages.  Delegates to {!Msgnet.Adversary.of_spec}. *)
+
 val default_properties : Sut.t -> string list
 (** The property specs the CLI checks when none are given: the full
     adopt-commit specification for the adopt-commit SUT, and
@@ -43,3 +49,5 @@ val generator_names : string
 val sut_names : string
 
 val property_names : string
+
+val adversary_names : string

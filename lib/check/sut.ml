@@ -14,6 +14,12 @@ type t = {
     check:Rrfd.Predicate.t ->
     detector:Rrfd.Detector.t ->
     string;
+  network_fn :
+    n:int ->
+    f:int ->
+    seed:int ->
+    adversary:Msgnet.Adversary.t ->
+    Property.obs;
 }
 
 let name sut = sut.name
@@ -56,10 +62,37 @@ let make ~name ~rounds ~pp_msg ?(pp_out = Format.pp_print_int) algo =
             ~algorithm:(algo ~inputs) ~detector ()
         in
         Format.asprintf "@[<v>%a@]" (Rrfd.Trace.pp pp_out) trace);
+    network_fn =
+      (fun ~n ~f ~seed ~adversary ->
+        let inputs = default_inputs ~n in
+        let r : int Msgnet.Round_layer.result =
+          Msgnet.Round_layer.run ~seed ~adversary ~n ~f ~rounds
+            ~algorithm:(algo ~inputs) ()
+        in
+        {
+          Property.n;
+          inputs;
+          decisions = r.decisions;
+          (* A process that decided did so at its last completed round:
+             the round layer's decisions are read off final states. *)
+          decision_rounds =
+            Array.init n (fun i ->
+                match r.decisions.(i) with
+                | None -> None
+                | Some _ -> Some (max 1 r.completed.(i)));
+          rounds_used = Rrfd.Fault_history.rounds r.induced;
+          history = r.induced;
+          violation =
+            Rrfd.Predicate.explain (Rrfd.Predicate.async_resilient ~f)
+              r.induced;
+        });
   }
 
 let run sut ~n ~max_rounds ~check ~detector =
   sut.run_fn ~n ~max_rounds ~check ~detector
+
+let run_network sut ~n ~f ~seed ~adversary =
+  sut.network_fn ~n ~f ~seed ~adversary
 
 (* Replay a pinned history, padded with failure-free rounds up to the
    protocol's horizon.  Without the padding, shrinking away a round of a

@@ -106,6 +106,11 @@ let all =
       title = "the BG simulation behind Sec. 4's impossibility transfer";
       run = wrap E19_bg.run;
     };
+    {
+      id = "E21";
+      title = "fault-injection adversaries and the heard-of bridge";
+      run = wrap_campaign E21_faultnet.run;
+    };
   ]
 
 let find id =

@@ -10,7 +10,7 @@ type entry = {
     experiments ignore it. *)
 
 val all : entry list
-(** E1 through E19, in order. *)
+(** E1 through E21, in order. *)
 
 val find : string -> entry option
 (** Look up by case-insensitive id ("e9" finds E9). *)

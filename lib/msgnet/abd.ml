@@ -6,24 +6,28 @@ type message =
   | Query of { op : int }
   | Query_reply of { op : int; ts : int; value : int option }
 
+(* Quorums are sets of distinct replicas, never reply counts: an
+   adversary that duplicates messages must not be able to fake a quorum
+   out of one replica's acks (the original int counters allowed exactly
+   that). *)
 type pending =
   | Write_pending of {
       ts : int;
       value : int;
-      acks : int;
+      acks : Pset.t;
       on_done : unit -> unit;
       invoked : float;
     }
   | Read_query of {
-      replies : (int * int option) list;
-      count : int;
+      replies : (int * (int * int option)) list;
+          (* replica -> (ts, value) *)
       on_done : int option -> unit;
       invoked : float;
     }
   | Read_write_back of {
       ts : int;
       value : int option;
-      acks : int;
+      acks : Pset.t;
       on_done : int option -> unit;
       invoked : float;
     }
@@ -115,6 +119,8 @@ type t = {
   mutable write_ts : int;
   mutable network : message Network.t option;
   mutable events : History0.event list; (* response order, newest first *)
+  retry_every : float option;
+  retry_horizon : float;
 }
 
 let net t = Option.get t.network
@@ -132,6 +138,31 @@ let record t proc kind invoked timestamp =
     }
     :: t.events
 
+(* While an operation stays pending, periodically rebroadcast its message
+   so a dropping or partitioned adversary can delay quorums but not starve
+   them.  Replicas are idempotent (ts-guarded updates) and owners dedupe
+   acks by replica, so the duplicates are harmless. *)
+let arm_retry t op =
+  match t.retry_every with
+  | None -> ()
+  | Some every ->
+    let rec retry sim =
+      match Hashtbl.find_opt t.pending op with
+      | None -> ()
+      | Some (owner, p) ->
+        (match p with
+        | Write_pending w ->
+          Network.broadcast (net t) ~from:owner
+            (Update { ts = w.ts; value = w.value; op })
+        | Read_query _ -> Network.broadcast (net t) ~from:owner (Query { op })
+        | Read_write_back { ts; value = Some v; _ } ->
+          Network.broadcast (net t) ~from:owner (Update { ts; value = v; op })
+        | Read_write_back { value = None; _ } -> ());
+        if Dsim.Sim.now sim +. every <= t.retry_horizon then
+          Dsim.Sim.schedule sim ~delay:every retry
+    in
+    Dsim.Sim.schedule t.sim ~delay:every retry
+
 let handle t ~to_ ~from msg =
   match msg with
   | Update { ts; value; op } ->
@@ -148,16 +179,16 @@ let handle t ~to_ ~from msg =
   | Update_ack { op } -> (
     match Hashtbl.find_opt t.pending op with
     | Some (owner, Write_pending w) when owner = to_ ->
-      let acks = w.acks + 1 in
-      if acks >= quorum t then begin
+      let acks = Pset.add from w.acks in
+      if Pset.cardinal acks >= quorum t then begin
         Hashtbl.remove t.pending op;
         record t owner (`Write w.value) w.invoked w.ts;
         w.on_done ()
       end
       else Hashtbl.replace t.pending op (owner, Write_pending { w with acks })
     | Some (owner, Read_write_back r) when owner = to_ ->
-      let acks = r.acks + 1 in
-      if acks >= quorum t then begin
+      let acks = Pset.add from r.acks in
+      if Pset.cardinal acks >= quorum t then begin
         Hashtbl.remove t.pending op;
         record t owner (`Read r.value) r.invoked r.ts;
         r.on_done r.value
@@ -167,13 +198,15 @@ let handle t ~to_ ~from msg =
   | Query_reply { op; ts; value } -> (
     match Hashtbl.find_opt t.pending op with
     | Some (owner, Read_query q) when owner = to_ ->
-      let replies = (ts, value) :: q.replies in
-      let count = q.count + 1 in
-      if count >= quorum t then begin
+      let replies =
+        if List.mem_assoc from q.replies then q.replies
+        else (from, (ts, value)) :: q.replies
+      in
+      if List.length replies >= quorum t then begin
         Hashtbl.remove t.pending op;
         let best_ts, best_value =
           List.fold_left
-            (fun (bt, bv) (ts, v) -> if ts > bt then (ts, v) else (bt, bv))
+            (fun (bt, bv) (_, (ts, v)) -> if ts > bt then (ts, v) else (bt, bv))
             (-1, None) replies
         in
         (* Phase 2: write back the freshest pair before returning. *)
@@ -185,14 +218,15 @@ let handle t ~to_ ~from msg =
               {
                 ts = best_ts;
                 value = best_value;
-                acks = 0;
+                acks = Pset.empty;
                 on_done = q.on_done;
                 invoked = q.invoked;
               } );
         (match best_value with
         | Some v ->
           Network.broadcast (net t) ~from:owner
-            (Update { ts = best_ts; value = v; op = wb_op })
+            (Update { ts = best_ts; value = v; op = wb_op });
+          arm_retry t wb_op
         | None ->
           (* Nothing ever written: ack ourselves through the same path by
              broadcasting a no-op query... simpler: complete directly, the
@@ -201,13 +235,19 @@ let handle t ~to_ ~from msg =
           record t owner (`Read None) q.invoked 0;
           q.on_done None)
       end
-      else
-        Hashtbl.replace t.pending op (owner, Read_query { q with replies; count })
+      else Hashtbl.replace t.pending op (owner, Read_query { q with replies })
     | Some _ | None -> ())
 
-let create ~sim ~n ~f ~writer ?min_delay ?max_delay () =
+let create ~sim ~n ~f ~writer ?min_delay ?max_delay ?adversary ?retry_every
+    ?(retry_horizon = 600.0) () =
   if f < 0 || 2 * f >= n then invalid_arg "Abd.create: need 0 ≤ 2f < n";
   if writer < 0 || writer >= n then invalid_arg "Abd.create: writer out of range";
+  let retry_every =
+    match (retry_every, adversary) with
+    | Some e, _ -> Some e
+    | None, Some a when not (Adversary.is_noop a) -> Some 10.0
+    | None, _ -> None
+  in
   let t =
     {
       sim;
@@ -220,10 +260,13 @@ let create ~sim ~n ~f ~writer ?min_delay ?max_delay () =
       write_ts = 0;
       network = None;
       events = [];
+      retry_every;
+      retry_horizon;
     }
   in
   let deliver _sim ~to_ ~from msg = handle t ~to_ ~from msg in
-  t.network <- Some (Network.create ~sim ~n ?min_delay ?max_delay ~deliver ());
+  t.network <-
+    Some (Network.create ~sim ~n ?min_delay ?max_delay ?adversary ~deliver ());
   t
 
 let write t ~value ~on_done =
@@ -240,9 +283,16 @@ let write t ~value ~on_done =
   Hashtbl.replace t.pending op
     ( t.writer,
       Write_pending
-        { ts = t.write_ts; value; acks = 0; on_done; invoked = Dsim.Sim.now t.sim } );
+        {
+          ts = t.write_ts;
+          value;
+          acks = Pset.empty;
+          on_done;
+          invoked = Dsim.Sim.now t.sim;
+        } );
   Network.broadcast (net t) ~from:t.writer
-    (Update { ts = t.write_ts; value; op })
+    (Update { ts = t.write_ts; value; op });
+  arm_retry t op
 
 let read t ~proc ~on_done =
   if proc < 0 || proc >= t.n then invalid_arg "Abd.read: process out of range";
@@ -250,9 +300,9 @@ let read t ~proc ~on_done =
   t.next_op <- t.next_op + 1;
   Hashtbl.replace t.pending op
     ( proc,
-      Read_query
-        { replies = []; count = 0; on_done; invoked = Dsim.Sim.now t.sim } );
-  Network.broadcast (net t) ~from:proc (Query { op })
+      Read_query { replies = []; on_done; invoked = Dsim.Sim.now t.sim } );
+  Network.broadcast (net t) ~from:proc (Query { op });
+  arm_retry t op
 
 let crash t p = Network.crash (net t) p
 

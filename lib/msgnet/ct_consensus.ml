@@ -8,11 +8,17 @@ type message =
   | Nack of { phase : int }
   | Decide of { value : int }
 
+(* Quorum bookkeeping is keyed by sender, never counted: an adversary
+   that duplicates messages must not be able to inflate a majority.  The
+   original count-based version let two copies of one Ack look like two
+   acknowledgers — an agreement violation waiting to happen. *)
 type coordinator_state = {
-  mutable estimates : (int * int) list; (* (est, ts) received this phase *)
+  mutable estimates : (int * (int * int)) list;
+      (* sender -> (est, ts) received this phase *)
   mutable proposed : bool;
-  mutable acks : int;
-  mutable nacks : int;
+  mutable acks : Pset.t;
+  mutable nacks : Pset.t;
+  mutable announced : bool;
   mutable proposal : int;
 }
 
@@ -21,6 +27,8 @@ type process = {
   mutable ts : int;
   mutable phase : int;
   mutable waiting : bool; (* sent estimate, awaiting coordinator or suspicion *)
+  mutable phase_entered : float;
+  mutable patience : float; (* stuck-phase timeout; doubles on each use *)
   mutable decided : int option;
   mutable decided_at : float option;
   coordinating : (int, coordinator_state) Hashtbl.t; (* phase -> state *)
@@ -35,8 +43,8 @@ type result = {
   virtual_time : float;
 }
 
-let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?(max_phases = 64) ~n
-    ~f ~inputs () =
+let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?adversary
+    ?(max_phases = 64) ~n ~f ~inputs () =
   if 2 * f >= n then invalid_arg "Ct_consensus.run: need 2f < n";
   if List.length crashes > f then
     invalid_arg "Ct_consensus.run: more crashes than f";
@@ -50,6 +58,8 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?(max_phases = 64) ~n
           ts = 0;
           phase = 0;
           waiting = false;
+          phase_entered = 0.0;
+          patience = 45.0;
           decided = None;
           decided_at = None;
           coordinating = Hashtbl.create 4;
@@ -67,28 +77,41 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?(max_phases = 64) ~n
     | Some s -> s
     | None ->
       let s =
-        { estimates = []; proposed = false; acks = 0; nacks = 0; proposal = 0 }
+        {
+          estimates = [];
+          proposed = false;
+          acks = Pset.empty;
+          nacks = Pset.empty;
+          announced = false;
+          proposal = 0;
+        }
       in
       Hashtbl.replace proc.coordinating phase s;
       s
   in
   let send ~from ~to_ msg = Network.send (net ()) ~from ~to_ msg in
   let broadcast ~from msg = Network.broadcast (net ()) ~from msg in
+  let send_estimate i =
+    let proc = procs.(i) in
+    send ~from:i ~to_:(coordinator_of proc.phase)
+      (Estimate { phase = proc.phase; est = proc.est; ts = proc.ts })
+  in
   let rec enter_phase i phase =
     let proc = procs.(i) in
     if proc.decided = None && phase <= max_phases then begin
       proc.phase <- phase;
       proc.waiting <- true;
-      send ~from:i ~to_:(coordinator_of phase)
-        (Estimate { phase; est = proc.est; ts = proc.ts })
+      proc.phase_entered <- Dsim.Sim.now sim;
+      send_estimate i
     end
   and try_propose c phase =
     let s = coord_state c phase in
     if (not s.proposed) && List.length s.estimates >= majority then begin
       let est, _ =
         List.fold_left
-          (fun (be, bt) (e, t) -> if t > bt then (e, t) else (be, bt))
-          (List.hd s.estimates) (List.tl s.estimates)
+          (fun (be, bt) (_, (e, t)) -> if t > bt then (e, t) else (be, bt))
+          (snd (List.hd s.estimates))
+          (List.tl s.estimates)
       in
       s.proposed <- true;
       s.proposal <- est;
@@ -98,14 +121,30 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?(max_phases = 64) ~n
     let proc = procs.(to_) in
     match msg with
     | Heartbeat -> Heartbeat.beat (fd ()) ~at:to_ ~from
-    | Estimate { phase; est; ts } ->
-      let s = coord_state to_ phase in
-      s.estimates <- (est, ts) :: s.estimates;
-      try_propose to_ phase
+    | Estimate { phase; est; ts } -> (
+      match proc.decided with
+      | Some value ->
+        (* A retransmitting straggler reaches a decided coordinator: hand
+           it the decision so lost Decide broadcasts cannot strand it. *)
+        send ~from:to_ ~to_:from (Decide { value })
+      | None ->
+        let s = coord_state to_ phase in
+        if not (List.mem_assoc from s.estimates) then
+          s.estimates <- (from, (est, ts)) :: s.estimates;
+        if s.proposed then
+          (* Late or retransmitted estimate after the proposal went out:
+             the sender may have missed it, so repeat it point-to-point. *)
+          send ~from:to_ ~to_:from (New_estimate { phase; est = s.proposal })
+        else try_propose to_ phase)
     | New_estimate { phase; est } ->
       if proc.decided = None && proc.phase = phase && proc.waiting then begin
         proc.est <- est;
-        proc.ts <- phase;
+        (* Timestamps must strictly dominate the initial ts 0 or the lock
+           is invisible: phases count from 0, so [ts <- phase] would let a
+           value adopted (and possibly decided) in phase 0 tie with
+           never-adopted inputs when the phase-1 coordinator picks its
+           max-ts estimate — an agreement violation under message loss. *)
+        proc.ts <- phase + 1;
         proc.waiting <- false;
         send ~from:to_ ~to_:from (Ack { phase });
         enter_phase to_ (phase + 1)
@@ -116,12 +155,15 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?(max_phases = 64) ~n
         send ~from:to_ ~to_:from (Nack { phase })
     | Ack { phase } ->
       let s = coord_state to_ phase in
-      s.acks <- s.acks + 1;
-      if s.proposed && s.acks >= majority then
+      s.acks <- Pset.add from s.acks;
+      if s.proposed && (not s.announced) && Pset.cardinal s.acks >= majority
+      then begin
+        s.announced <- true;
         broadcast ~from:to_ (Decide { value = s.proposal })
+      end
     | Nack { phase } ->
       let s = coord_state to_ phase in
-      s.nacks <- s.nacks + 1
+      s.nacks <- Pset.add from s.nacks
     | Decide { value } ->
       if proc.decided = None then begin
         proc.decided <- Some value;
@@ -131,7 +173,10 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?(max_phases = 64) ~n
         broadcast ~from:to_ (Decide { value })
       end
   in
-  network := Some (Network.create ~sim ~n ?min_delay ?max_delay ~deliver:handle ());
+  network :=
+    Some
+      (Network.create ~sim ~n ?min_delay ?max_delay ?adversary ~deliver:handle
+         ());
   detector :=
     Some
       (Heartbeat.create ~sim ~n
@@ -142,8 +187,10 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?(max_phases = 64) ~n
       Dsim.Sim.schedule_at sim ~time (fun _ -> Network.crash (net ()) p))
     crashes;
   (* Suspicion polling: a waiting process that suspects its coordinator
-     nacks and moves to the next phase.  Polls stop at the same horizon as
-     the heartbeats, so the simulation always drains even when a process
+     nacks and moves to the next phase; one that does not yet suspect it
+     retransmits its estimate, so a message-dropping adversary can delay a
+     phase but not wedge it.  Polls stop at the same horizon as the
+     heartbeats, so the simulation always drains even when a process
      (e.g. a crashed one) never decides. *)
   let poll_interval = 3.0 in
   let horizon = 1000.0 in
@@ -152,14 +199,26 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?(max_phases = 64) ~n
     if proc.decided = None && proc.phase <= max_phases then begin
       if proc.waiting then begin
         let c = coordinator_of proc.phase in
-        if
+        let suspected =
           (not (Rrfd.Proc.equal c i))
           && Heartbeat.suspects (fd ()) ~observer:i ~target:c
-        then begin
+        in
+        (* A phase can wedge without suspicion — e.g. a process ends up
+           coordinating a phase nobody else enters, so its estimate
+           reaches no one who could answer.  Exponential patience breaks
+           the wedge: CT's safety never depends on when a process nacks,
+           and once a phase's coordinator has decided (or communication
+           stabilises) the retransmitted estimate gets an answer. *)
+        let out_of_patience =
+          Dsim.Sim.now sim_ -. proc.phase_entered > proc.patience
+        in
+        if suspected || out_of_patience then begin
+          if out_of_patience then proc.patience <- proc.patience *. 2.0;
           proc.waiting <- false;
           send ~from:i ~to_:c (Nack { phase = proc.phase });
           enter_phase i (proc.phase + 1)
         end
+        else send_estimate i
       end;
       if Dsim.Sim.now sim_ +. poll_interval <= horizon then
         Dsim.Sim.schedule sim_ ~delay:poll_interval (poll i)

@@ -10,9 +10,11 @@
     detector, {!Heartbeat}) sends a nack and moves on.  Requires a majority
     of correct processes ([2f < n]).
 
-    Safety comes from majority intersection and timestamp locking;
-    termination from the detector's eventual accuracy, which the bounded-
-    delay network guarantees. *)
+    Safety comes from majority intersection and timestamp locking, with
+    all quorum bookkeeping keyed by sender so duplicated messages cannot
+    inflate a majority; termination from the detector's eventual accuracy
+    plus estimate retransmission, so a fault-injection {!Adversary} that
+    drops or partitions messages delays phases without wedging them. *)
 
 type result = {
   decisions : int option array;
@@ -28,6 +30,7 @@ val run :
   ?min_delay:float ->
   ?max_delay:float ->
   ?crashes:(Rrfd.Proc.t * float) list ->
+  ?adversary:Adversary.t ->
   ?max_phases:int ->
   n:int ->
   f:int ->
@@ -36,6 +39,9 @@ val run :
   result
 (** [run ~n ~f ~inputs ()] executes one consensus instance.  [crashes]
     lists processes with their crash times (at most [f], and [2f < n] must
-    hold).  [max_phases] (default 64) bounds the run; live processes are
-    expected to decide well before it.
+    hold).  [adversary] damages the network (see {!Adversary}); safety
+    must survive any policy, termination needs losses to eventually let a
+    phase through (e.g. a partition that heals).  [max_phases] (default
+    64) bounds the run; live processes are expected to decide well before
+    it.
     @raise Invalid_argument on parameter violations. *)

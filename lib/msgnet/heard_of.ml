@@ -1,0 +1,72 @@
+module Pset = Rrfd.Pset
+
+(* Per process, the heard-from sets of completed rounds, newest first. *)
+type t = { n : int; per_proc : Pset.t list array }
+
+let create ~n =
+  if n < 1 || n > Pset.max_universe then invalid_arg "Heard_of.create: bad n";
+  { n; per_proc = Array.make n [] }
+
+let n t = t.n
+
+let completed t i =
+  if i < 0 || i >= t.n then invalid_arg "Heard_of.completed: bad proc";
+  List.length t.per_proc.(i)
+
+let note t i ~round ~heard =
+  if i < 0 || i >= t.n then invalid_arg "Heard_of.note: bad proc";
+  if round <> List.length t.per_proc.(i) + 1 then
+    invalid_arg "Heard_of.note: rounds must be noted in order";
+  if not (Pset.subset heard (Pset.full t.n)) then
+    invalid_arg "Heard_of.note: heard set outside the system";
+  t.per_proc.(i) <- heard :: t.per_proc.(i)
+
+let heard t ~proc ~round =
+  if proc < 0 || proc >= t.n then invalid_arg "Heard_of.heard: bad proc";
+  let l = t.per_proc.(proc) in
+  let c = List.length l in
+  if round < 1 || round > c then None else Some (List.nth l (c - round))
+
+let rounds t = Array.fold_left (fun m l -> max m (List.length l)) 0 t.per_proc
+
+let to_history t =
+  let r_max = rounds t in
+  let chron = Array.map List.rev t.per_proc in
+  let full = Pset.full t.n in
+  let round_sets r =
+    Array.map
+      (fun l ->
+        match List.nth_opt l (r - 1) with
+        | Some h -> Pset.diff full h
+        | None -> Pset.empty)
+      chron
+  in
+  Rrfd.Fault_history.of_rounds ~n:t.n
+    (List.init r_max (fun r -> round_sets (r + 1)))
+
+let paper_predicates ~f =
+  [
+    ("P1", Rrfd.Predicate.omission ~f);
+    ("P2", Rrfd.Predicate.crash ~f);
+    ("P3", Rrfd.Predicate.async_resilient ~f);
+    ("P4", Rrfd.Predicate.shared_memory ~f);
+    ("P5", Rrfd.Predicate.snapshot ~f);
+  ]
+
+let classify ~f history =
+  List.map
+    (fun (name, p) -> (name, Rrfd.Predicate.holds p history))
+    (paper_predicates ~f)
+
+let replay_decisions ~algorithm history =
+  let n = Rrfd.Fault_history.n history in
+  let rounds = Rrfd.Fault_history.rounds history in
+  let schedule =
+    List.init rounds (fun r ->
+        Rrfd.Fault_history.round_sets history ~round:(r + 1))
+  in
+  let detector =
+    Rrfd.Detector.of_schedule ~after:(Array.make n Pset.empty) schedule
+  in
+  let states, _ = Rrfd.Engine.states_after ~n ~rounds ~algorithm ~detector () in
+  Array.map algorithm.Rrfd.Algorithm.decide states

@@ -65,3 +65,16 @@ let suspected_by t observer =
   !set
 
 let false_suspicions t = t.false_count
+
+let live_suspicions t ~among =
+  let pairs = ref [] in
+  for observer = t.n - 1 downto 0 do
+    if Pset.mem observer among then
+      for target = t.n - 1 downto 0 do
+        if Pset.mem target among && suspects t ~observer ~target then
+          pairs := (observer, target) :: !pairs
+      done
+  done;
+  !pairs
+
+let converged t ~among = live_suspicions t ~among = []

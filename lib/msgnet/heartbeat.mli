@@ -45,3 +45,12 @@ val suspected_by : t -> Rrfd.Proc.t -> Rrfd.Pset.t
 val false_suspicions : t -> int
 (** Suspicions later retracted by a late heartbeat (instrumentation for
     the adaptive-timeout behaviour). *)
+
+val live_suspicions :
+  t -> among:Rrfd.Pset.t -> (Rrfd.Proc.t * Rrfd.Proc.t) list
+(** Current [(observer, target)] suspicions restricted to [among] — the
+    convergence probe for fault-injection runs: after a partition heals
+    and timeouts adapt, suspicions among live processes must drain. *)
+
+val converged : t -> among:Rrfd.Pset.t -> bool
+(** [live_suspicions t ~among = []]. *)

@@ -5,22 +5,49 @@ type 'msg t = {
   n : int;
   min_delay : float;
   max_delay : float;
+  adversary : Adversary.t;
   deliver : Dsim.Sim.t -> to_:Rrfd.Proc.t -> from:Rrfd.Proc.t -> 'msg -> unit;
   mutable crashed : Pset.t;
   mutable sent : int;
   mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable lost_to_crash : int;
 }
 
-let create ~sim ~n ?(min_delay = 1.0) ?(max_delay = 10.0) ~deliver () =
+let create ~sim ~n ?(min_delay = 1.0) ?(max_delay = 10.0)
+    ?(adversary = Adversary.none) ~deliver () =
   if n < 1 || n > Pset.max_universe then invalid_arg "Network.create: bad n";
   if min_delay < 0.0 || max_delay < min_delay then
     invalid_arg "Network.create: bad delay bounds";
-  { sim; n; min_delay; max_delay; deliver; crashed = Pset.empty; sent = 0; delivered = 0 }
+  {
+    sim;
+    n;
+    min_delay;
+    max_delay;
+    adversary;
+    deliver;
+    crashed = Pset.empty;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    duplicated = 0;
+    lost_to_crash = 0;
+  }
 
 let n t = t.n
+let adversary t = t.adversary
 
 let pick_delay t =
   t.min_delay +. Dsim.Rng.float (Dsim.Sim.rng t.sim) (t.max_delay -. t.min_delay)
+
+let schedule_delivery t ~from ~to_ ~delay msg =
+  Dsim.Sim.schedule t.sim ~delay (fun sim ->
+      if Pset.mem to_ t.crashed then t.lost_to_crash <- t.lost_to_crash + 1
+      else begin
+        t.delivered <- t.delivered + 1;
+        t.deliver sim ~to_ ~from msg
+      end)
 
 let send t ~from ~to_ ?delay msg =
   if to_ < 0 || to_ >= t.n || from < 0 || from >= t.n then
@@ -28,11 +55,25 @@ let send t ~from ~to_ ?delay msg =
   if not (Pset.mem from t.crashed) then begin
     let delay = match delay with Some d -> d | None -> pick_delay t in
     t.sent <- t.sent + 1;
-    Dsim.Sim.schedule t.sim ~delay (fun sim ->
-        if not (Pset.mem to_ t.crashed) then begin
-          t.delivered <- t.delivered + 1;
-          t.deliver sim ~to_ ~from msg
-        end)
+    (* Loopback traffic never leaves the process, so the adversary cannot
+       touch it — a process always hears itself. *)
+    if Rrfd.Proc.equal from to_ || Adversary.is_noop t.adversary then
+      schedule_delivery t ~from ~to_ ~delay msg
+    else
+      match
+        Adversary.plan t.adversary
+          (Dsim.Sim.rng t.sim)
+          ~now:(Dsim.Sim.now t.sim) ~from ~to_ ~delay
+          ~redraw:(fun () -> pick_delay t)
+      with
+      | [] -> t.dropped <- t.dropped + 1
+      | first :: copies ->
+          schedule_delivery t ~from ~to_ ~delay:first msg;
+          List.iter
+            (fun d ->
+              t.duplicated <- t.duplicated + 1;
+              schedule_delivery t ~from ~to_ ~delay:d msg)
+            copies
   end
 
 let broadcast t ~from ?(self = true) msg =
@@ -45,7 +86,8 @@ let crash t p =
   t.crashed <- Pset.add p t.crashed
 
 let crashed t = t.crashed
-
 let messages_sent t = t.sent
-
 let messages_delivered t = t.delivered
+let messages_dropped t = t.dropped
+let messages_duplicated t = t.duplicated
+let messages_lost_to_crash t = t.lost_to_crash

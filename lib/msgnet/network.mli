@@ -2,10 +2,21 @@
 
     Messages are delivered after adversarially chosen finite delays (drawn
     from the simulator's random stream within configurable bounds, or
-    overridden per send).  Processes can crash: a crashed process sends
-    nothing further, and messages already in flight {e from} it are still
-    delivered — the standard asynchronous crash model.  Delivery is not
-    FIFO unless the delay bounds make it so. *)
+    overridden per send), optionally damaged by a fault-injection
+    {!Adversary} — drop, duplication, delay spikes, reorder jitter, timed
+    partitions.  Loopback sends ([from = to_]) bypass the adversary: a
+    process's channel to itself is process-internal.
+
+    Crash semantics (all three statements agree, and the counters below
+    audit them): once [crash p] is called, (1) further sends {e from} [p]
+    are no-ops and are not counted in {!messages_sent}; (2) messages
+    already in flight from [p] are still delivered — the standard
+    asynchronous crash model; (3) messages arriving {e at} [p] are dropped
+    at delivery time and counted in {!messages_lost_to_crash}.
+
+    Delivery is not FIFO unless the delay bounds make it so.  In a drained
+    simulation the counters satisfy
+    [sent + duplicated = delivered + dropped + lost_to_crash]. *)
 
 type 'msg t
 (** A network carrying messages of type ['msg] between [n] processes. *)
@@ -15,28 +26,46 @@ val create :
   n:int ->
   ?min_delay:float ->
   ?max_delay:float ->
+  ?adversary:Adversary.t ->
   deliver:(Dsim.Sim.t -> to_:Rrfd.Proc.t -> from:Rrfd.Proc.t -> 'msg -> unit) ->
   unit ->
   'msg t
 (** [create ~sim ~n ~deliver ()] builds a network whose per-message delays
     are uniform in [\[min_delay, max_delay\]] (defaults 1.0 and 10.0);
-    [deliver] is invoked at the receiver's delivery time.  Messages to
-    crashed processes are silently dropped. *)
+    [deliver] is invoked at the receiver's delivery time.  [adversary]
+    (default {!Adversary.none}) is consulted for every non-loopback send. *)
 
 val n : _ t -> int
 
+val adversary : _ t -> Adversary.t
+
 val send : 'msg t -> from:Rrfd.Proc.t -> to_:Rrfd.Proc.t -> ?delay:float -> 'msg -> unit
-(** Queue one message.  No-op if the sender has crashed. *)
+(** Queue one message.  No-op if the sender has crashed.  An explicit
+    [?delay] fixes the base delay but the adversary still applies. *)
 
 val broadcast : 'msg t -> from:Rrfd.Proc.t -> ?self:bool -> 'msg -> unit
 (** Send to every process, including the sender itself when [self] (default
     true); each copy gets an independent delay. *)
 
 val crash : 'msg t -> Rrfd.Proc.t -> unit
-(** Crash a process: it sends nothing from now on and receives nothing. *)
+(** Crash a process: its future sends are no-ops (uncounted), messages in
+    flight from it still arrive, and deliveries to it are dropped and
+    counted in {!messages_lost_to_crash}. *)
 
 val crashed : 'msg t -> Rrfd.Pset.t
 
 val messages_sent : _ t -> int
+(** Sends accepted from live processes (adversarial extra copies not
+    included). *)
 
 val messages_delivered : _ t -> int
+(** Deliveries actually handed to [deliver]. *)
+
+val messages_dropped : _ t -> int
+(** Messages lost to the adversary (drop atoms and partitions). *)
+
+val messages_duplicated : _ t -> int
+(** Extra copies the adversary injected beyond the original send. *)
+
+val messages_lost_to_crash : _ t -> int
+(** Deliveries dropped because the receiver had crashed. *)

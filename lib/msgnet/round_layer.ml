@@ -3,17 +3,28 @@ module Pset = Rrfd.Pset
 type 'out result = {
   decisions : 'out option array;
   induced : Rrfd.Fault_history.t;
+  heard_of : Heard_of.t;
   completed : int array;
   crashed : Rrfd.Pset.t;
   messages_sent : int;
+  messages_delivered : int;
+  messages_dropped : int;
+  messages_duplicated : int;
   virtual_time : float;
 }
+
+(* Wire format is [(round, payload, kind)].  [`Retry] marks a periodic
+   retransmission of the sender's current round; a receiver already past
+   that round answers a [`Retry] with [`Help] copies of its own cached
+   emissions, which is what lets a partitioned or lossy run catch up
+   after healing.  Only [`Retry] triggers help — help answering help
+   would ping-pong forever between two finished processes. *)
 
 type ('s, 'm) proc = {
   mutable state : 's;
   mutable current_round : int; (* round currently being collected *)
   buffers : (int, 'm option array) Hashtbl.t;
-  mutable fault_sets : Pset.t list; (* D(i, r) for completed rounds, newest first *)
+  emitted : (int, 'm) Hashtbl.t; (* own emissions, kept for repair *)
   mutable done_ : bool;
 }
 
@@ -25,20 +36,31 @@ let buffer_for proc ~n round =
     Hashtbl.replace proc.buffers round b;
     b
 
-let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ~n ~f ~rounds
-    ~algorithm () =
+let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?adversary
+    ?retransmit_every ?(horizon = 600.0) ~n ~f ~rounds ~algorithm () =
   if f < 0 || f >= n then invalid_arg "Round_layer.run: need 0 ≤ f < n";
   if List.length crashes > f then
     invalid_arg "Round_layer.run: more crashes than the resilience bound";
+  let adversary = Option.value adversary ~default:Adversary.none in
+  (* Repair (periodic retransmission + catch-up help) is on whenever an
+     adversary is present — without it a lossy round can starve forever —
+     and off otherwise, preserving the fault-free delay stream.  An
+     explicit [retransmit_every] forces it on. *)
+  let repair_every =
+    match retransmit_every with
+    | Some e -> Some e
+    | None -> if Adversary.is_noop adversary then None else Some 10.0
+  in
   let open Rrfd.Algorithm in
   let sim = Dsim.Sim.create ~seed () in
+  let heard_rec = Heard_of.create ~n in
   let procs =
     Array.init n (fun i ->
         {
           state = algorithm.init ~n i;
           current_round = 1;
           buffers = Hashtbl.create 16;
-          fault_sets = [];
+          emitted = Hashtbl.create 16;
           done_ = false;
         })
   in
@@ -46,7 +68,12 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ~n ~f ~rounds
   let net () = Option.get !network in
   let emit_round i round =
     let msg = algorithm.emit procs.(i).state ~round in
-    Network.broadcast (net ()) ~from:i (round, msg)
+    Hashtbl.replace procs.(i).emitted round msg;
+    (* Own emissions are delivered locally at emission time: a process
+       always hears itself, so i ∉ D(i,r) by construction and the
+       adversary cannot fabricate self-suspicion. *)
+    (buffer_for procs.(i) ~n round).(i) <- Some msg;
+    Network.broadcast (net ()) ~from:i ~self:false (round, msg, `Fresh)
   in
   (* Complete as many consecutive rounds as the buffers allow. *)
   let rec try_complete i =
@@ -64,7 +91,7 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ~n ~f ~rounds
         proc.state <-
           algorithm.deliver proc.state ~round ~received:(Array.copy buffer)
             ~faulty;
-        proc.fault_sets <- faulty :: proc.fault_sets;
+        Heard_of.note heard_rec i ~round ~heard:(Pset.diff (Pset.full n) faulty);
         Hashtbl.remove proc.buffers round;
         proc.current_round <- round + 1;
         if round + 1 > rounds then proc.done_ <- true
@@ -75,42 +102,106 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ~n ~f ~rounds
       end
     end
   in
-  let deliver _sim ~to_ ~from (round, msg) =
+  let help i ~to_ ~round =
+    let proc = procs.(i) in
+    for r = round to min proc.current_round rounds do
+      match Hashtbl.find_opt proc.emitted r with
+      | Some m -> Network.send (net ()) ~from:i ~to_ (r, m, `Help)
+      | None -> ()
+    done
+  in
+  let deliver _sim ~to_ ~from (round, msg, kind) =
     let proc = procs.(to_) in
-    if (not proc.done_) && round >= proc.current_round then begin
+    if round >= proc.current_round && not proc.done_ then begin
       let buffer = buffer_for proc ~n round in
-      (* Duplicate-free by construction: one message per (sender, round). *)
+      (* Duplicates are idempotent: one payload per (sender, round). *)
       buffer.(from) <- Some msg;
       if round = proc.current_round then try_complete to_
     end
+    else if kind = `Retry && repair_every <> None then
+      (* The sender is still collecting a round we have already passed:
+         resend it (and everything since) our cached emissions. *)
+      help to_ ~to_:from ~round
   in
-  network := Some (Network.create ~sim ~n ?min_delay ?max_delay ~deliver ());
+  network :=
+    Some (Network.create ~sim ~n ?min_delay ?max_delay ~adversary ~deliver ());
   List.iter
     (fun (p, time) ->
       Dsim.Sim.schedule_at sim ~time (fun _ -> Network.crash (net ()) p))
     crashes;
+  (match repair_every with
+  | None -> ()
+  | Some every ->
+      if every <= 0.0 then invalid_arg "Round_layer.run: bad retransmit_every";
+      let rec tick i sim =
+        let proc = procs.(i) in
+        if (not proc.done_) && not (Pset.mem i (Network.crashed (net ())))
+        then begin
+          (match Hashtbl.find_opt proc.emitted proc.current_round with
+          | Some m ->
+              Network.broadcast (net ()) ~from:i ~self:false
+                (proc.current_round, m, `Retry)
+          | None -> ());
+          if Dsim.Sim.now sim +. every <= horizon then
+            Dsim.Sim.schedule sim ~delay:every (tick i)
+        end
+      in
+      for i = 0 to n - 1 do
+        Dsim.Sim.schedule sim ~delay:every (tick i)
+      done);
   for i = 0 to n - 1 do
-    emit_round i 1
+    emit_round i 1;
+    try_complete i
   done;
   Dsim.Sim.run sim;
-  let completed = Array.map (fun p -> List.length p.fault_sets) procs in
-  let max_completed = Array.fold_left max 0 completed in
-  let per_proc =
-    Array.map (fun p -> Array.of_list (List.rev p.fault_sets)) procs
-  in
-  let induced =
-    Rrfd.Fault_history.of_rounds ~n
-      (List.init max_completed (fun r ->
-           Array.init n (fun i ->
-               if r < Array.length per_proc.(i) then per_proc.(i).(r)
-               else Pset.empty)))
-  in
+  let completed = Array.init n (Heard_of.completed heard_rec) in
   let decisions = Array.map (fun p -> algorithm.decide p.state) procs in
   {
     decisions;
-    induced;
+    induced = Heard_of.to_history heard_rec;
+    heard_of = heard_rec;
     completed;
     crashed = Network.crashed (net ());
     messages_sent = Network.messages_sent (net ());
+    messages_delivered = Network.messages_delivered (net ());
+    messages_dropped = Network.messages_dropped (net ());
+    messages_duplicated = Network.messages_duplicated (net ());
     virtual_time = Dsim.Sim.now sim;
+  }
+
+type 'out differential = {
+  outcome : 'out result;
+  replayed : 'out option array;
+  matched : bool;
+  all_completed : bool;
+}
+
+let differential ?seed ?min_delay ?max_delay ?crashes ?adversary
+    ?retransmit_every ?horizon ?(equal = Stdlib.( = )) ~n ~f ~rounds ~algorithm
+    () =
+  let outcome =
+    run ?seed ?min_delay ?max_delay ?crashes ?adversary ?retransmit_every
+      ?horizon ~n ~f ~rounds ~algorithm ()
+  in
+  let replayed = Heard_of.replay_decisions ~algorithm outcome.induced in
+  let r_max = Rrfd.Fault_history.rounds outcome.induced in
+  let opt_equal a b =
+    match (a, b) with
+    | None, None -> true
+    | Some x, Some y -> equal x y
+    | _ -> false
+  in
+  (* The engine replays the longest completed prefix in lockstep, so only
+     processes that got that far have a network decision to compare. *)
+  let matched = ref true in
+  Array.iteri
+    (fun i c ->
+      if c = r_max && not (opt_equal outcome.decisions.(i) replayed.(i)) then
+        matched := false)
+    outcome.completed;
+  {
+    outcome;
+    replayed;
+    matched = !matched;
+    all_completed = Array.for_all (fun c -> c = rounds) outcome.completed;
   }

@@ -7,18 +7,31 @@
     as it holds at least [n − f] round-[r] messages.  The fault set
     [D(i,r)] is the set of senders whose round-[r] message had not arrived
     at completion time — by construction [|D(i,r)| ≤ f], which is exactly
-    predicate (3).  The experiments re-check that the induced history
-    satisfies it. *)
+    predicate (3).  A process delivers its own emission locally at emit
+    time, so it always hears itself and [i ∉ D(i,r)] even under an
+    adversary.
+
+    With a fault-injection {!Adversary} the layer also runs a repair
+    protocol (periodic retransmission of the current round, answered by
+    catch-up copies from processes further ahead), without which a lossy
+    or partitioned round could starve below the [n − f] threshold
+    forever.  As rounds complete, a {!Heard_of} recorder extracts the
+    induced fault history; {!differential} replays it through the
+    abstract engine and checks the two executions decide identically. *)
 
 type 'out result = {
   decisions : 'out option array;
   induced : Rrfd.Fault_history.t;
-      (** Derived fault history over the requested number of rounds.  Slots
-          of rounds a (crashed) process never completed hold the empty set;
-          [completed] says how far each process got. *)
+      (** Extracted fault history over the longest completed prefix.
+          Slots of rounds a (crashed or starved) process never completed
+          hold the empty set; [completed] says how far each process got. *)
+  heard_of : Heard_of.t;  (** The raw heard-of record behind [induced]. *)
   completed : int array;  (** Rounds completed by each process. *)
   crashed : Rrfd.Pset.t;
   messages_sent : int;
+  messages_delivered : int;
+  messages_dropped : int;  (** Lost to the adversary. *)
+  messages_duplicated : int;  (** Extra copies the adversary injected. *)
   virtual_time : float;  (** Simulated time at which the run drained. *)
 }
 
@@ -27,6 +40,9 @@ val run :
   ?min_delay:float ->
   ?max_delay:float ->
   ?crashes:(Rrfd.Proc.t * float) list ->
+  ?adversary:Adversary.t ->
+  ?retransmit_every:float ->
+  ?horizon:float ->
   n:int ->
   f:int ->
   rounds:int ->
@@ -37,4 +53,43 @@ val run :
     simulated rounds over the asynchronous network.  [crashes] lists
     processes and the virtual times at which they crash (at most [f] of
     them, or the waiting rule could block the survivors).
-    @raise Invalid_argument if more than [f] crashes are requested. *)
+
+    [adversary] damages non-loopback messages (see {!Adversary}); when one
+    is present the repair protocol is enabled with retransmission period
+    [retransmit_every] (default 10.0) until [horizon] (default 600.0)
+    virtual time.  Passing [retransmit_every] explicitly enables repair
+    even without an adversary.  Without repair the fault-free behaviour —
+    including its random delay stream — is unchanged.
+    @raise Invalid_argument if more than [f] crashes are requested or
+    [retransmit_every <= 0]. *)
+
+type 'out differential = {
+  outcome : 'out result;
+  replayed : 'out option array;
+      (** {!Heard_of.replay_decisions} of the extracted history. *)
+  matched : bool;
+      (** Decisions agree (under [equal]) for every process that completed
+          the full extracted prefix. *)
+  all_completed : bool;  (** Every process completed all [rounds]. *)
+}
+
+val differential :
+  ?seed:int ->
+  ?min_delay:float ->
+  ?max_delay:float ->
+  ?crashes:(Rrfd.Proc.t * float) list ->
+  ?adversary:Adversary.t ->
+  ?retransmit_every:float ->
+  ?horizon:float ->
+  ?equal:('out -> 'out -> bool) ->
+  n:int ->
+  f:int ->
+  rounds:int ->
+  algorithm:('s, 'm, 'out) Rrfd.Algorithm.t ->
+  unit ->
+  'out differential
+(** Run over the damaged network, extract the fault history, replay it on
+    {!Rrfd.Engine.states_after}, and compare decision vectors ([equal]
+    defaults to structural equality).  This is the differential oracle
+    tying the discrete-event network back to the paper's abstract model:
+    [matched] must hold for every adversary. *)

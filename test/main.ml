@@ -32,4 +32,5 @@ let () =
       ("runtime", Test_runtime.tests);
       ("report", Test_report.tests);
       ("check", Test_check.tests);
+      ("faultnet", Test_faultnet.tests);
     ]

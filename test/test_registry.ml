@@ -2,11 +2,11 @@
 
 let ids_unique_and_ordered () =
   let ids = List.map (fun e -> e.Experiments.Registry.id) Experiments.Registry.all in
-  Alcotest.(check int) "nineteen experiments" 19 (List.length ids);
-  Alcotest.(check (list string)) "sorted E1..E19"
-    (List.init 19 (fun i -> Printf.sprintf "E%d" (i + 1)))
+  Alcotest.(check int) "twenty experiments" 20 (List.length ids);
+  Alcotest.(check (list string)) "sorted E1..E19 then E21"
+    (List.init 19 (fun i -> Printf.sprintf "E%d" (i + 1)) @ [ "E21" ])
     ids;
-  Alcotest.(check int) "unique" 19 (List.length (List.sort_uniq compare ids))
+  Alcotest.(check int) "unique" 20 (List.length (List.sort_uniq compare ids))
 
 let find_is_case_insensitive () =
   (match Experiments.Registry.find "e9" with
