@@ -220,6 +220,18 @@ let bench_campaign_kset n =
                ~algorithm:(Rrfd.Kset.one_round ~inputs)
                ~detector ())))
 
+(* The unified substrate layer's dispatch cost: the same engine execution
+   as kset-one-round above, but reached through the protocol catalog's
+   existentially-packed entry and returned as a Substrate execution record
+   — the abstraction tax every catalog-driven run-loop and E22 cell pays
+   over the direct call path. *)
+let bench_substrate_dispatch n =
+  let rng = Dsim.Rng.create seed in
+  let proto = Protocols.Catalog.find_exn "kset-one-round" in
+  Staged.stage (fun () ->
+      let detector = Rrfd.Detector_gen.k_set rng ~n ~k:2 in
+      ignore (Protocols.Catalog.run_engine proto ~n ~f:1 ~detector ()))
+
 let bench_sync_flood n =
   let rng = Dsim.Rng.create seed in
   Staged.stage (fun () ->
@@ -236,6 +248,8 @@ let tests =
     [
       Test.make_indexed ~name:"kset-one-round" ~fmt:"%s n=%d" ~args:[ 4; 8; 16; 32 ]
         bench_engine_kset_round;
+      Test.make_indexed ~name:"substrate-dispatch" ~fmt:"%s n=%d"
+        ~args:[ 4; 8; 16; 32 ] bench_substrate_dispatch;
       Test.make_indexed ~name:"full-info-4-rounds" ~fmt:"%s n=%d" ~args:[ 4; 8 ]
         bench_full_info_rounds;
       Test.make_indexed ~name:"immediate-snapshot" ~fmt:"%s n=%d"

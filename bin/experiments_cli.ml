@@ -1,9 +1,10 @@
-(* Command-line runner for the paper's experiments (E1-E21).
+(* Command-line runner for the paper's experiments (E1-E22).
 
    `rrfd-experiments list`            enumerate experiments
    `rrfd-experiments run E6 E9`       run selected experiments
    `rrfd-experiments all`             run everything
    `rrfd-experiments faultnet`        fault-injection + heard-of replay
+   `rrfd-experiments xsub`            cross-substrate differential matrix
    options: --seed, --trials, -j/--jobs *)
 
 open Cmdliner
@@ -143,42 +144,98 @@ let lattice_cmd =
        ~doc:"Check a submodel relation (Sec. 2) exhaustively at a small size.")
     Term.(const run $ a_arg $ b_arg $ n_arg $ f_arg $ rounds_arg)
 
-(* `trace` — run one-round k-set agreement under a chosen model and print
-   the full transcript. *)
+(* `trace` — run any catalog protocol under a chosen model and print the
+   full transcript.  Protocol names, printers and horizons all come from
+   the catalog; nothing here is per-protocol. *)
 let trace_cmd =
-  let n_arg = Arg.(value & opt int 6 & info [ "n" ] ~doc:"System size.") in
-  let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Agreement bound.") in
-  let run seed n k =
-    setup_logs ();
-    let rng = Dsim.Rng.create seed in
-    let inputs = Tasks.Inputs.distinct n in
-    let trace =
-      Rrfd.Trace.record ~n
-        ~check:(Rrfd.Predicate.k_set ~k)
-        ~pp_msg:Format.pp_print_int
-        ~algorithm:(Rrfd.Kset.one_round ~inputs)
-        ~detector:(Rrfd.Detector_gen.k_set rng ~n ~k)
-        ()
+  let protocol_arg =
+    let doc =
+      "Catalog protocol to trace: "
+      ^ String.concat ", " Protocols.Catalog.names
+      ^ "."
     in
-    Format.printf "@[<v>%a@]@." (Rrfd.Trace.pp Format.pp_print_int) trace;
-    Printf.printf "history: %s\n"
-      (Rrfd.Fault_history.to_string_compact
-         trace.Rrfd.Trace.outcome.Rrfd.Engine.history);
-    match
-      Tasks.Agreement.check ~k ~inputs
-        trace.Rrfd.Trace.outcome.Rrfd.Engine.decisions
-    with
+    Arg.(
+      value
+      & opt string "kset-one-round"
+      & info [ "protocol" ] ~docv:"NAME" ~doc)
+  in
+  let n_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n" ] ~doc:"System size (default: 6 for k-set protocols, the \
+                           catalog default otherwise).")
+  in
+  let k_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "k" ] ~doc:"Agreement bound (k-set protocols only).")
+  in
+  let run seed protocol n k =
+    setup_logs ();
+    match Protocols.Catalog.find protocol with
     | None ->
-      Printf.printf "%d-set agreement: OK\n" k;
-      0
-    | Some reason ->
-      Printf.printf "%d-set agreement VIOLATED: %s\n" k reason;
-      1
+      Printf.eprintf "unknown protocol %s; choose from: %s\n" protocol
+        (String.concat ", " Protocols.Catalog.names);
+      2
+    | Some proto ->
+      let is_kset = String.length protocol >= 4 && String.sub protocol 0 4 = "kset" in
+      let n =
+        match n with
+        | Some n -> n
+        | None -> if is_kset then 6 else Protocols.Catalog.default_n proto
+      in
+      let f =
+        if is_kset then k - 1 else Protocols.Catalog.default_f proto ~n
+      in
+      let inputs = Tasks.Inputs.distinct n in
+      let detector rng =
+        if is_kset then Rrfd.Detector_gen.k_set rng ~n ~k
+        else Rrfd.Detector_gen.crash rng ~n ~f
+      in
+      let check = if is_kset then Some (Rrfd.Predicate.k_set ~k) else None in
+      let max_rounds = max 1 (Protocols.Catalog.horizon proto ~n ~f) in
+      (* Two identically-seeded RNGs: one consumed by the rendered
+         transcript, one by the execution we report decisions from. *)
+      print_endline
+        (Protocols.Catalog.transcript proto ~inputs ?check ~n ~f ~max_rounds
+           ~detector:(detector (Dsim.Rng.create seed))
+           ());
+      let ex =
+        Protocols.Catalog.run_engine proto ~inputs ?check ~max_rounds ~n ~f
+          ~detector:(detector (Dsim.Rng.create seed))
+          ()
+      in
+      Printf.printf "history: %s\n"
+        (Rrfd.Fault_history.to_string_compact ex.Rrfd.Substrate.induced);
+      if is_kset then (
+        match
+          Tasks.Agreement.check ~k ~inputs ex.Rrfd.Substrate.decisions
+        with
+        | None ->
+          Printf.printf "%d-set agreement: OK\n" k;
+          0
+        | Some reason ->
+          Printf.printf "%d-set agreement VIOLATED: %s\n" k reason;
+          1)
+      else begin
+        Format.printf "decisions: @[<h>%a@]@."
+          (Format.pp_print_array
+             ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+             (fun fmt d ->
+               match d with
+               | None -> Format.pp_print_string fmt "-"
+               | Some v -> Protocols.Catalog.pp_out proto fmt v))
+          ex.Rrfd.Substrate.decisions;
+        0
+      end
   in
   Cmd.v
     (Cmd.info "trace"
-       ~doc:"Run one-round k-set agreement (Thm 3.1) and print the transcript.")
-    Term.(const run $ seed_arg $ n_arg $ k_arg)
+       ~doc:
+         "Run a catalog protocol on the abstract engine and print the full \
+          round-by-round transcript.")
+    Term.(const run $ seed_arg $ protocol_arg $ n_arg $ k_arg)
 
 (* `check` — the schedule-space model checker: fuzz (or exhaustively
    enumerate) predicate-satisfying fault histories hunting for one that
@@ -540,6 +597,92 @@ let faultnet_cmd =
       const run $ seed_arg $ trials_arg $ jobs_arg $ adversary_arg $ n_arg
       $ f_arg $ rounds_arg $ grid_arg $ json_arg)
 
+(* `xsub` — the E22 cross-substrate differential matrix: every catalog
+   protocol over every execution substrate under equivalent fault
+   policies, each induced history replayed pinned on the abstract engine.
+   The --json artifact embeds every trial's induced and replayed compact
+   histories; it depends only on --seed and --trials, never on -j, which
+   is what the xsub smoke gate compares byte-for-byte. *)
+let xsub_cmd =
+  let json_arg =
+    let doc =
+      "Also write the table and every trial's per-substrate induced and \
+       replayed histories to $(docv) as compact JSON.  The output depends \
+       only on --seed and --trials — never on -j."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run seed trials jobs json =
+    setup_logs ();
+    let table, details =
+      Experiments.E22_xsub.run_detailed ~seed ?trials ?jobs ()
+    in
+    Experiments.Table.print table;
+    Option.iter
+      (fun path ->
+        let str s = Report.Json.String s in
+        let trial_json (o : Experiments.E22_xsub.trial_obs) =
+          Report.Json.List
+            (List.map
+               (fun (s : Experiments.E22_xsub.sub_obs) ->
+                 Report.Json.Obj
+                   [
+                     ("sub", str s.Experiments.E22_xsub.sub);
+                     ("induced", str s.Experiments.E22_xsub.compact);
+                     ("replayed", str s.Experiments.E22_xsub.replay_compact);
+                     ( "decisions_ok",
+                       Report.Json.Bool s.Experiments.E22_xsub.decisions_ok );
+                     ( "classes_ok",
+                       Report.Json.Bool s.Experiments.E22_xsub.classes_ok );
+                   ])
+               o.Experiments.E22_xsub.subs)
+        in
+        let j =
+          Report.Json.Obj
+            [
+              ("id", str table.Experiments.Table.id);
+              ("seed", Report.Json.Number (float_of_int seed));
+              ( "header",
+                Report.Json.List
+                  (List.map str table.Experiments.Table.header) );
+              ( "rows",
+                Report.Json.List
+                  (List.map
+                     (fun row -> Report.Json.List (List.map str row))
+                     table.Experiments.Table.rows) );
+              ("ok", Report.Json.Bool (Experiments.Table.ok table));
+              ( "cells",
+                Report.Json.List
+                  (List.map
+                     (fun (protocol, policy, obs) ->
+                       Report.Json.Obj
+                         [
+                           ("protocol", str protocol);
+                           ("policy", str policy);
+                           ( "trials",
+                             Report.Json.List (List.map trial_json obs) );
+                         ])
+                     details) );
+            ]
+        in
+        let oc = open_out path in
+        output_string oc (Report.Json.to_string j);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "matrix artifact written to %s\n" path)
+      json;
+    if Experiments.Table.ok table then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "xsub"
+       ~doc:
+         "Run the E22 cross-substrate differential matrix: every catalog \
+          protocol over the abstract engine, the synchronous network and \
+          the asynchronous network under equivalent fault policies, with \
+          every induced fault history replayed pinned on the abstract \
+          engine and checked for bit-for-bit decision and P1-P5 agreement.")
+    Term.(const run $ seed_arg $ trials_arg $ jobs_arg $ json_arg)
+
 let main =
   let doc =
     "Reproduce the results of Gafni's 'Round-by-Round Fault Detectors' \
@@ -548,6 +691,6 @@ let main =
   Cmd.group
     (Cmd.info "rrfd-experiments" ~version:"1.0.0" ~doc)
     [ list_cmd; run_cmd; all_cmd; lattice_cmd; trace_cmd; check_cmd;
-      faultnet_cmd ]
+      faultnet_cmd; xsub_cmd ]
 
 let () = exit (Cmd.eval' main)

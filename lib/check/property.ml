@@ -61,21 +61,13 @@ let termination =
           (Printf.sprintf "undecided after %d round(s): %s" o.rounds_used
              (String.concat "," (List.map (Printf.sprintf "p%d") ps))))
 
-let encode_outcome = function
-  | Rrfd.Adopt_commit.Commit v ->
-    if v < 0 then invalid_arg "Property.encode_outcome: negative value";
-    2 * v
-  | Rrfd.Adopt_commit.Adopt v ->
-    if v < 0 then invalid_arg "Property.encode_outcome: negative value";
-    (2 * v) + 1
+(* The packing itself lives in core ({!Rrfd.Adopt_commit.encode}) so the
+   protocol catalog, which check depends on, shares the single definition. *)
+let encode_outcome = Rrfd.Adopt_commit.encode
 
-let decode_outcome code =
-  if code < 0 then invalid_arg "Property.decode_outcome: negative code";
-  if code land 1 = 0 then Rrfd.Adopt_commit.Commit (code asr 1)
-  else Rrfd.Adopt_commit.Adopt (code asr 1)
+let decode_outcome = Rrfd.Adopt_commit.decode
 
-let pp_encoded_outcome ppf code =
-  Rrfd.Adopt_commit.pp_outcome Format.pp_print_int ppf (decode_outcome code)
+let pp_encoded_outcome = Rrfd.Adopt_commit.pp_encoded
 
 let adopt_commit_coherence =
   make ~name:"adopt-commit"

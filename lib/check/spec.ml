@@ -97,14 +97,14 @@ let generator spec =
           (Printf.sprintf "unknown generator %S; choose from: %s" spec
              generator_names))
 
-let sut_names = "kset-one-round, consensus, adopt-commit"
+(* SUT names are the protocol catalog's: registering a protocol there is
+   all it takes to make it checkable. *)
+let sut_names = String.concat ", " Protocols.Catalog.names
 
 let sut spec =
-  match spec with
-  | "kset-one-round" -> Ok Sut.kset_one_round
-  | "consensus" -> Ok Sut.consensus
-  | "adopt-commit" -> Ok Sut.adopt_commit
-  | _ ->
+  match Protocols.Catalog.find spec with
+  | Some p -> Ok (Sut.of_protocol p)
+  | None ->
     Error (Printf.sprintf "unknown sut %S; choose from: %s" spec sut_names)
 
 let property_names =
@@ -132,5 +132,6 @@ let adversary_names = Msgnet.Adversary.spec_names
 let adversary spec = Msgnet.Adversary.of_spec spec
 
 let default_properties s =
-  if Sut.name s = "adopt-commit" then [ "adopt-commit" ]
-  else [ "termination"; "validity"; "agreement" ]
+  match Protocols.Catalog.find (Sut.name s) with
+  | Some p -> Protocols.Catalog.properties p
+  | None -> [ "termination"; "validity"; "agreement" ]

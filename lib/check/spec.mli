@@ -24,7 +24,9 @@ val generator :
     [antisym:f=_], [eq5], [detector-s]. *)
 
 val sut : string -> (Sut.t, string) result
-(** [kset-one-round], [consensus], [adopt-commit]. *)
+(** Any {!Protocols.Catalog} name ([kset-one-round], [consensus],
+    [adopt-commit], [phased-consensus], …) — SUTs are derived from the
+    catalog via {!Sut.of_protocol}. *)
 
 val property : string -> (Property.t, string) result
 (** [agreement], [k-agreement:k=_], [validity], [termination],

@@ -120,23 +120,68 @@ let transcript sut ~check history =
   let detector, max_rounds = pinned_detector ~n ~sut_rounds:sut.rounds history in
   sut.transcript_fn ~n ~max_rounds ~check ~detector
 
-let kset_one_round =
-  make ~name:"kset-one-round" ~rounds:1 ~pp_msg:Format.pp_print_int
-    (fun ~inputs -> Rrfd.Kset.one_round ~inputs)
-
-let consensus =
-  make ~name:"consensus" ~rounds:1 ~pp_msg:Format.pp_print_int (fun ~inputs ->
-      Rrfd.Kset.consensus ~inputs)
-
-let adopt_commit =
-  let pp_msg ppf = function
-    | Rrfd.Adopt_commit.Value v -> Format.fprintf ppf "value %d" v
-    | Rrfd.Adopt_commit.Vote (Rrfd.Adopt_commit.Commit_vote v) ->
-      Format.fprintf ppf "commit-vote %d" v
-    | Rrfd.Adopt_commit.Vote (Rrfd.Adopt_commit.Adopt_vote v) ->
-      Format.fprintf ppf "adopt-vote %d" v
+(* Derivation from the protocol catalog: the single definition site for
+   algorithms.  The closures reproduce [make]'s observations exactly — the
+   engine path is the same [Rrfd.Engine.run] call, and the network path
+   reads decision rounds off the completion record the same way. *)
+let of_protocol p =
+  let obs_of_execution ~n ~inputs (ex : int Rrfd.Substrate.execution) =
+    {
+      Property.n;
+      inputs;
+      decisions = ex.Rrfd.Substrate.decisions;
+      decision_rounds = ex.Rrfd.Substrate.decision_rounds;
+      rounds_used = ex.Rrfd.Substrate.rounds_used;
+      history = ex.Rrfd.Substrate.induced;
+      violation = ex.Rrfd.Substrate.violation;
+    }
   in
-  make ~name:"adopt-commit" ~rounds:2 ~pp_msg
-    ~pp_out:Property.pp_encoded_outcome (fun ~inputs ->
-      Rrfd.Algorithm.map_output Property.encode_outcome
-        (Rrfd.Adopt_commit.algorithm ~inputs))
+  let default_n = Protocols.Catalog.default_n p in
+  {
+    name = Protocols.Catalog.name p;
+    rounds =
+      Protocols.Catalog.horizon p ~n:default_n
+        ~f:(Protocols.Catalog.default_f p ~n:default_n);
+    pp_out = Protocols.Catalog.pp_out p;
+    run_fn =
+      (fun ~n ~max_rounds ~check ~detector ->
+        let inputs = default_inputs ~n in
+        let ex =
+          Protocols.Catalog.run_engine p ~inputs ~check ~max_rounds ~n
+            ~f:(Protocols.Catalog.default_f p ~n) ~detector ()
+        in
+        obs_of_execution ~n ~inputs ex);
+    transcript_fn =
+      (fun ~n ~max_rounds ~check ~detector ->
+        Protocols.Catalog.transcript p ~check ~n
+          ~f:(Protocols.Catalog.default_f p ~n) ~max_rounds ~detector ());
+    network_fn =
+      (fun ~n ~f ~seed ~adversary ->
+        let inputs = default_inputs ~n in
+        let ex =
+          Protocols.Catalog.run_msgnet p ~inputs ~adversary ~seed ~n ~f
+            ~rounds:
+              (Protocols.Catalog.horizon p ~n:default_n
+                 ~f:(Protocols.Catalog.default_f p ~n:default_n))
+            ()
+        in
+        {
+          (obs_of_execution ~n ~inputs ex) with
+          (* A process that decided did so at its last completed round:
+             the round layer's decisions are read off final states. *)
+          Property.decision_rounds =
+            Array.init n (fun i ->
+                match ex.Rrfd.Substrate.decisions.(i) with
+                | None -> None
+                | Some _ -> Some (max 1 ex.Rrfd.Substrate.completed.(i)));
+          violation =
+            Rrfd.Predicate.explain (Rrfd.Predicate.async_resilient ~f)
+              ex.Rrfd.Substrate.induced;
+        });
+  }
+
+let kset_one_round = of_protocol (Protocols.Catalog.find_exn "kset-one-round")
+
+let consensus = of_protocol (Protocols.Catalog.find_exn "consensus")
+
+let adopt_commit = of_protocol (Protocols.Catalog.find_exn "adopt-commit")

@@ -26,6 +26,13 @@ val make :
 (** [make ~name ~rounds ~pp_msg algo] packages [algo].  [pp_out] renders
     decisions in transcripts (default: plain int). *)
 
+val of_protocol : Protocols.Catalog.t -> t
+(** Derive a SUT from a protocol-catalog entry — name, horizon (at the
+    entry's default [n]/[f]) and printers come from the catalog, the run
+    closures drive the catalog's engine/network runners.  This is how
+    every stock SUT is defined; the catalog is the single definition site
+    for algorithms. *)
+
 val default_inputs : n:int -> int array
 (** [Tasks.Inputs.distinct n]. *)
 

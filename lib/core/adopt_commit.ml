@@ -127,3 +127,17 @@ let check_outcomes ~inputs outcomes =
         if agreement_broken then
           Some "agreement: a committed value was not universally carried"
         else None)
+
+let encode = function
+  | Commit v ->
+    if v < 0 then invalid_arg "Adopt_commit.encode: negative value";
+    2 * v
+  | Adopt v ->
+    if v < 0 then invalid_arg "Adopt_commit.encode: negative value";
+    (2 * v) + 1
+
+let decode code =
+  if code < 0 then invalid_arg "Adopt_commit.decode: negative code";
+  if code land 1 = 0 then Commit (code asr 1) else Adopt (code asr 1)
+
+let pp_encoded ppf code = pp_outcome Format.pp_print_int ppf (decode code)

@@ -51,6 +51,19 @@ val algorithm : inputs:'v array -> ('v state, 'v message, 'v outcome) Algorithm.
 val pp_outcome :
   (Format.formatter -> 'v -> unit) -> Format.formatter -> 'v outcome -> unit
 
+val encode : int outcome -> int
+(** Pack an outcome over non-negative int values into a single int
+    ([Commit v ↦ 2v], [Adopt v ↦ 2v+1]) so adopt-commit executions flow
+    through machinery — the protocol catalog, the model checker — whose
+    decisions are plain ints.
+    @raise Invalid_argument on negative values. *)
+
+val decode : int -> int outcome
+(** Inverse of {!encode}. @raise Invalid_argument on negative codes. *)
+
+val pp_encoded : Format.formatter -> int -> unit
+(** Renders an {!encode}d outcome as [commit v] / [adopt v]. *)
+
 val check_outcomes : inputs:'v array -> 'v outcome option array -> string option
 (** [check_outcomes ~inputs outcomes] verifies the adopt-commit
     specification on one execution (shared by the RRFD and register

@@ -15,6 +15,17 @@ let add a b =
     predicate_checks = a.predicate_checks + b.predicate_checks;
   }
 
+let of_history ?(predicate_checks = 0) history =
+  let n = Fault_history.n history in
+  let messages =
+    Fault_history.fold_rounds
+      (fun _round sets acc ->
+        Array.fold_left (fun acc d -> acc + (n - Pset.cardinal d)) acc sets)
+      history 0
+  in
+  let rounds = Fault_history.rounds history in
+  { rounds; messages; detector_queries = rounds; predicate_checks }
+
 let to_fields t =
   [
     ("rounds", t.rounds);

@@ -60,10 +60,14 @@ let knowledge_rounds history =
   in
   go 1
 
-let known_by_all_within ~n ~detector ~max_rounds =
+let known_by_all_observed ~n ~detector ~max_rounds =
   let rec materialise history r =
     if r > max_rounds then history
     else
       materialise (Fault_history.append history (Detector.next detector history)) (r + 1)
   in
-  knowledge_rounds (materialise (Fault_history.empty ~n) 1)
+  let history = materialise (Fault_history.empty ~n) 1 in
+  (knowledge_rounds history, history)
+
+let known_by_all_within ~n ~detector ~max_rounds =
+  fst (known_by_all_observed ~n ~detector ~max_rounds)

@@ -46,3 +46,12 @@ val knowledge_rounds : Fault_history.t -> int option
 val known_by_all_within : n:int -> detector:Detector.t -> max_rounds:int -> int option
 (** Drive a detector for up to [max_rounds] rounds and report the first
     round at which someone is known by all. *)
+
+val known_by_all_observed :
+  n:int ->
+  detector:Detector.t ->
+  max_rounds:int ->
+  int option * Fault_history.t
+(** {!known_by_all_within} additionally returning the materialised history
+    (always [max_rounds] long, same detector consumption), so callers can
+    account the work via {!Counters.of_history}. *)

@@ -84,6 +84,34 @@ let run ~n ?(max_rounds = 64) ?check ?(stop_when_decided = true) ~algorithm
   in
   loop 1 (Fault_history.empty ~n) Counters.zero
 
+module As_substrate = struct
+  type config = {
+    detector : Detector.t;
+    check : Predicate.t option;
+    stop_when_decided : bool;
+  }
+
+  let name = "engine"
+
+  let execute config ~n ~rounds ~algorithm =
+    let outcome =
+      run ~n ~max_rounds:rounds ?check:config.check
+        ~stop_when_decided:config.stop_when_decided ~algorithm
+        ~detector:config.detector ()
+    in
+    {
+      Substrate.substrate = name;
+      decisions = outcome.decisions;
+      decision_rounds = outcome.decision_rounds;
+      rounds_used = outcome.rounds_used;
+      induced = outcome.history;
+      counters = outcome.counters;
+      violation = outcome.violation;
+      crashed = Pset.empty;
+      completed = Array.make n outcome.rounds_used;
+    }
+end
+
 let states_after ~n ~rounds ~algorithm ~detector () =
   let open Algorithm in
   let states = Array.init n (fun i -> algorithm.init ~n i) in

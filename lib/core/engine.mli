@@ -43,6 +43,23 @@ val run :
     marks every process faulty to some process ([D(i,r) = S] — the paper
     notes this can never happen, as not all processes can be late). *)
 
+(** {1 The engine as a substrate} *)
+
+module As_substrate : sig
+  type config = {
+    detector : Detector.t;  (** The environment being simulated. *)
+    check : Predicate.t option;
+        (** Optional per-round predicate check, as in {!run}. *)
+    stop_when_decided : bool;
+  }
+
+  include Substrate.S with type config := config
+end
+(** {!Substrate.S} view of {!run}: [rounds] maps to [max_rounds], the
+    induced history is the detector's output, no process ever crashes
+    ([crashed = Pset.empty]) and every process completes every executed
+    round. *)
+
 val states_after :
   n:int ->
   rounds:int ->

@@ -9,7 +9,9 @@ let check_id p =
     invalid_arg (Printf.sprintf "Pset: process id %d out of [0,%d)" p max_universe)
 
 let full n =
-  if n < 0 || n > max_universe then invalid_arg "Pset.full: size out of range";
+  if n < 0 || n > max_universe then
+    invalid_arg
+      (Printf.sprintf "Pset.full: size %d out of [0,%d]" n max_universe);
   if n = 0 then 0 else (1 lsl n) - 1
 
 let singleton p =
@@ -91,7 +93,9 @@ let max_elt s =
     Some (go s 0)
 
 let choose_nth s i =
-  if i < 0 || i >= cardinal s then invalid_arg "Pset.choose_nth: index out of range";
+  if i < 0 || i >= cardinal s then
+    invalid_arg
+      (Printf.sprintf "Pset.choose_nth: index %d out of [0,%d)" i (cardinal s));
   let rec go s i =
     let low = lowest_index s in
     if i = 0 then low else go (s land (s - 1)) (i - 1)
@@ -102,7 +106,9 @@ let random_subset rng s = filter (fun _ -> Dsim.Rng.bool rng) s
 
 let random_subset_of_size rng s k =
   let size = cardinal s in
-  if k < 0 || k > size then invalid_arg "Pset.random_subset_of_size";
+  if k < 0 || k > size then
+    invalid_arg
+      (Printf.sprintf "Pset.random_subset_of_size: k %d out of [0,%d]" k size);
   let indices = Dsim.Rng.sample_without_replacement rng k size in
   List.fold_left (fun acc i -> add (choose_nth s i) acc) empty indices
 

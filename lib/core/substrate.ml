@@ -1,0 +1,24 @@
+type 'out execution = {
+  substrate : string;
+  decisions : 'out option array;
+  decision_rounds : int option array;
+  rounds_used : int;
+  induced : Fault_history.t;
+  counters : Counters.t;
+  violation : string option;
+  crashed : Pset.t;
+  completed : int array;
+}
+
+module type S = sig
+  type config
+
+  val name : string
+
+  val execute :
+    config ->
+    n:int ->
+    rounds:int ->
+    algorithm:('s, 'm, 'out) Algorithm.t ->
+    'out execution
+end

@@ -1,0 +1,72 @@
+(** The execution-substrate abstraction.
+
+    The paper's central claim is that one algorithm text runs unchanged
+    over synchrony, asynchrony and shared memory once the environment is
+    presented as an RRFD.  The repository carries several concrete
+    environments — the abstract detector-driven {!Engine}, the lock-step
+    synchronous network ([Syncnet.Sync_net]), the event-driven
+    asynchronous round layer ([Msgnet.Round_layer]) — and each of them is
+    a {e substrate}: something that drives an {!Algorithm} and yields the
+    same uniform observation, an {!execution}.
+
+    A substrate implements {!S}: a name, a substrate-specific [config]
+    (the detector, the fault pattern, the network adversary …) and an
+    [execute] function polymorphic in the algorithm's state, message and
+    output types.  Everything downstream — the protocol catalog, the
+    cross-substrate differential matrix (E22), the model checker's SUTs,
+    the experiment tables — consumes executions and never needs to know
+    which substrate produced them.  This is the executable form of the
+    "communication-closed" correspondence (Damian et al.) and the
+    heard-of characterisation (Shimi et al.): whatever the wall clock did,
+    the observable content of a run is its decisions plus the fault
+    history it induced. *)
+
+type 'out execution = {
+  substrate : string;  (** Name of the substrate that ran the algorithm. *)
+  decisions : 'out option array;
+      (** First decision of each process ([None] if it never decided). *)
+  decision_rounds : int option array;
+      (** Round at which each process first decided, when the substrate
+          tracks it (the asynchronous round layer reports the last
+          completed round of a decided process). *)
+  rounds_used : int;  (** Rounds executed (the induced history's length). *)
+  induced : Fault_history.t;
+      (** The fault history the run induced: for the engine this is the
+          detector's output, for a real network the per-round complement
+          of who was heard. *)
+  counters : Counters.t;
+      (** Exact work accounting, in the same vocabulary on every
+          substrate: rounds, messages delivered, detector queries,
+          predicate checks.  See {!Counters}. *)
+  violation : string option;
+      (** Earliest violation of the optional online predicate check, when
+          the substrate's config requested one. *)
+  crashed : Pset.t;
+      (** Processes the substrate actually crashed ([Pset.empty] for the
+          abstract engine, whose processes all keep executing). *)
+  completed : int array;
+      (** Rounds each process completed.  Lock-step substrates complete
+          the same number everywhere; the asynchronous layer may leave
+          slow processes behind. *)
+}
+
+module type S = sig
+  type config
+  (** Everything the substrate needs besides the algorithm: the
+      detector/check for the engine, the fault pattern for the
+      synchronous network, the seed/adversary/crash schedule for the
+      asynchronous one. *)
+
+  val name : string
+
+  val execute :
+    config ->
+    n:int ->
+    rounds:int ->
+    algorithm:('s, 'm, 'out) Algorithm.t ->
+    'out execution
+  (** Drive [algorithm] for up to [rounds] rounds over [n] processes.
+      Implementations preserve their substrate's native semantics (early
+      stop on decision, crash schedules, repair protocols …); the record
+      is the common observable. *)
+end

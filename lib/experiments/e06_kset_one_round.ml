@@ -18,23 +18,25 @@ let run ?(seed = 6) ?(trials = 500) ?jobs () =
             (fun ~trial:_ ~rng ->
               let inputs = Tasks.Inputs.distinct n in
               let detector = Rrfd.Detector_gen.k_set rng ~n ~k in
-              let outcome =
-                Rrfd.Engine.run ~n
+              let ex =
+                Protocols.Catalog.run_engine
+                  (Protocols.Catalog.find_exn "kset-one-round")
+                  ~inputs
                   ~check:(Rrfd.Predicate.k_set ~k)
-                  ~algorithm:(Rrfd.Kset.one_round ~inputs) ~detector ()
+                  ~n ~f:(k - 1) ~detector ()
               in
               let distinct =
                 Tasks.Agreement.distinct_decisions
-                  ~decisions:outcome.Rrfd.Engine.decisions
+                  ~decisions:ex.Rrfd.Substrate.decisions
               in
               let failed =
-                Tasks.Agreement.check ~k ~inputs outcome.Rrfd.Engine.decisions
+                Tasks.Agreement.check ~k ~inputs ex.Rrfd.Substrate.decisions
                 <> None
               in
               ( distinct,
                 failed,
-                outcome.Rrfd.Engine.rounds_used <> 1,
-                outcome.Rrfd.Engine.counters ))
+                ex.Rrfd.Substrate.rounds_used <> 1,
+                ex.Rrfd.Substrate.counters ))
         in
         work := Array.map (fun (_, _, _, c) -> c) obs :: !work;
         let max_distinct =

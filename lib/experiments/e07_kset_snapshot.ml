@@ -5,6 +5,7 @@
 let run ?(seed = 7) ?(trials = 400) () =
   let rng = Dsim.Rng.create seed in
   let rows = ref [] in
+  let work = ref [] in
   List.iter
     (fun (n, k) ->
       let max_distinct = ref 0 and failures = ref 0 in
@@ -13,20 +14,22 @@ let run ?(seed = 7) ?(trials = 400) () =
         let inputs = Tasks.Inputs.distinct n in
         (* The adversary: genuine snapshot rounds with at most k−1 misses. *)
         let detector = Rrfd.Detector_gen.iis trial_rng ~n ~f:(k - 1) in
-        let outcome =
-          Rrfd.Engine.run ~n
+        let ex =
+          Protocols.Catalog.run_engine
+            (Protocols.Catalog.find_exn "kset-snapshot")
+            ~inputs
             ~check:(Rrfd.Predicate.snapshot ~f:(k - 1))
-            ~algorithm:(Rrfd.Kset.one_round ~inputs) ~detector ()
+            ~n ~f:(k - 1) ~detector ()
         in
         let distinct =
           Tasks.Agreement.distinct_decisions
-            ~decisions:outcome.Rrfd.Engine.decisions
+            ~decisions:ex.Rrfd.Substrate.decisions
         in
         max_distinct := max !max_distinct distinct;
         if
-          Tasks.Agreement.check ~k ~inputs outcome.Rrfd.Engine.decisions
-          <> None
-        then incr failures
+          Tasks.Agreement.check ~k ~inputs ex.Rrfd.Substrate.decisions <> None
+        then incr failures;
+        work := ex.Rrfd.Substrate.counters :: !work
       done;
       rows :=
         [
@@ -50,5 +53,5 @@ let run ?(seed = 7) ?(trials = 400) () =
     header = [ "n"; "k"; "f=k−1"; "trials"; "max-distinct"; "task-fails"; "ok" ];
     rows = List.rev !rows;
     notes = [];
-    counters = [];
+    counters = Table.counter_stats (Array.of_list (List.rev !work));
   }

@@ -21,15 +21,16 @@ let run ?(seed = 8) ?(trials = 400) () =
           incr pred_bad;
         (* and the derived detector really lets Thm 3.1 run on top *)
         let inputs = Tasks.Inputs.distinct n in
-        let outcome =
-          Rrfd.Engine.run ~n
-            ~algorithm:(Rrfd.Kset.one_round ~inputs)
+        let ex =
+          Protocols.Catalog.run_engine
+            (Protocols.Catalog.find_exn "kset-one-round")
+            ~inputs ~n ~f:(k - 1)
             ~detector:(Rrfd.Detector.of_schedule [ r.Shm.Thm33.fault_sets ])
             ()
         in
-        if Tasks.Agreement.check ~k ~inputs outcome.Rrfd.Engine.decisions = None
+        if Tasks.Agreement.check ~k ~inputs ex.Rrfd.Substrate.decisions = None
         then incr agreement_ok;
-        work := outcome.Rrfd.Engine.counters :: !work
+        work := ex.Rrfd.Substrate.counters :: !work
       done;
       rows :=
         [

@@ -4,6 +4,7 @@
 let run ?(seed = 10) ?(trials = 500) () =
   let rng = Dsim.Rng.create seed in
   let rows = ref [] in
+  let work = ref [] in
   List.iter
     (fun n ->
       let reg_bad = ref 0 and reg_commits = ref 0 in
@@ -23,24 +24,31 @@ let run ?(seed = 10) ?(trials = 500) () =
         Array.iter
           (fun o -> if Rrfd.Adopt_commit.is_commit o then incr reg_commits)
           r.Shm.Adopt_commit_shm.outcomes;
-        (* RRFD version under a snapshot adversary *)
-        let outcome =
-          Rrfd.Engine.run ~n
+        (* RRFD version under a snapshot adversary, via the catalog (whose
+           adopt-commit entry packs outcomes as ints — decode to judge). *)
+        let ex =
+          Protocols.Catalog.run_engine
+            (Protocols.Catalog.find_exn "adopt-commit")
+            ~inputs
             ~check:(Rrfd.Predicate.snapshot ~f:(n - 1))
-            ~algorithm:(Rrfd.Adopt_commit.algorithm ~inputs)
+            ~n ~f:(n - 1)
             ~detector:(Rrfd.Detector_gen.iis (Dsim.Rng.split trial_rng) ~n ~f:(n - 1))
             ()
         in
-        if
-          Rrfd.Adopt_commit.check_outcomes ~inputs outcome.Rrfd.Engine.decisions
-          <> None
-        then incr rrfd_bad;
+        let rrfd_outcomes =
+          Array.map
+            (Option.map Rrfd.Adopt_commit.decode)
+            ex.Rrfd.Substrate.decisions
+        in
+        if Rrfd.Adopt_commit.check_outcomes ~inputs rrfd_outcomes <> None then
+          incr rrfd_bad;
         Array.iter
           (fun o ->
             match o with
             | Some o when Rrfd.Adopt_commit.is_commit o -> incr rrfd_commits
             | Some _ | None -> ())
-          outcome.Rrfd.Engine.decisions;
+          rrfd_outcomes;
+        work := ex.Rrfd.Substrate.counters :: !work;
         (* convergence on identical inputs *)
         let same = Tasks.Inputs.constant n 7 in
         let rc =
@@ -82,5 +90,5 @@ let run ?(seed = 10) ?(trials = 500) () =
       ];
     rows = List.rev !rows;
     notes = [ "inputs are random bits; commit% is per-process over all trials" ];
-    counters = [];
+    counters = Table.counter_stats (Array.of_list (List.rev !work));
   }

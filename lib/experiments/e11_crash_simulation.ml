@@ -7,6 +7,7 @@
 
 let run ?(seed = 11) ?(trials = 200) ?jobs () =
   let cases = [ (4, 1, 2); (4, 1, 3); (6, 2, 2); (8, 2, 3); (10, 3, 2) ] in
+  let work = ref [] in
   let rows =
     List.mapi
       (fun case_idx (n, k, sync_rounds) ->
@@ -20,7 +21,7 @@ let run ?(seed = 11) ?(trials = 200) ?jobs () =
               let sync = Syncnet.Flood.min_flood ~inputs ~horizon:sync_rounds in
               let algorithm = Rrfd.Sim_crash.algorithm ~sync in
               let detector = Rrfd.Detector_gen.iis rng ~n ~f:k in
-              let states, _ =
+              let states, history =
                 Rrfd.Engine.states_after ~n
                   ~rounds:(Rrfd.Sim_crash.async_rounds ~sync_rounds)
                   ~algorithm ~detector ()
@@ -39,16 +40,17 @@ let run ?(seed = 11) ?(trials = 200) ?jobs () =
                   (Rrfd.Fault_history.cumulative_union
                      (Rrfd.Sim_crash.simulated_history states))
               in
-              (check_failed, !witness_gaps, crashes))
+              (check_failed, !witness_gaps, crashes, Rrfd.Counters.of_history history))
         in
+        work := Array.map (fun (_, _, _, c) -> c) obs :: !work;
         let check_bad =
-          Array.fold_left (fun c (b, _, _) -> if b then c + 1 else c) 0 obs
+          Array.fold_left (fun c (b, _, _, _) -> if b then c + 1 else c) 0 obs
         in
         let witness_bad =
-          Array.fold_left (fun c (_, w, _) -> c + w) 0 obs
+          Array.fold_left (fun c (_, w, _, _) -> c + w) 0 obs
         in
         let crash_stats =
-          Runtime.Stats.of_ints (Array.map (fun (_, _, c) -> c) obs)
+          Runtime.Stats.of_ints (Array.map (fun (_, _, c, _) -> c) obs)
         in
         [
           Table.cell_int n;
@@ -79,5 +81,5 @@ let run ?(seed = 11) ?(trials = 200) ?jobs () =
     rows;
     notes =
       [ "overhead is exactly 3 asynchronous rounds per simulated synchronous round" ];
-    counters = [];
+    counters = Table.counter_stats (Array.concat (List.rev !work));
   }

@@ -8,6 +8,7 @@
 
 let run ?(seed = 14) ?(trials = 2000) ?jobs () =
   let rows = ref [] in
+  let work = ref [] in
   (* Exhaustive at n = 2 and 3. *)
   List.iter
     (fun n ->
@@ -43,16 +44,20 @@ let run ?(seed = 14) ?(trials = 2000) ?jobs () =
           (fun ~trial:_ ~rng ->
             let f = max 1 ((n - 1) / 2) in
             let detector = Rrfd.Detector_gen.antisymmetric rng ~n ~f in
-            Rrfd.Emulation.known_by_all_within ~n ~detector ~max_rounds:n)
+            let known, history =
+              Rrfd.Emulation.known_by_all_observed ~n ~detector ~max_rounds:n
+            in
+            (known, Rrfd.Counters.of_history history))
       in
+      work := Array.map snd obs :: !work;
       let worst =
         Array.fold_left
-          (fun m -> function Some r -> max m r | None -> m)
+          (fun m -> function Some r, _ -> max m r | None, _ -> m)
           0 obs
       in
       let beyond_n =
         Array.fold_left
-          (fun c -> function None -> c + 1 | Some _ -> c)
+          (fun c -> function None, _ -> c + 1 | Some _, _ -> c)
           0 obs
       in
       rows :=
@@ -80,5 +85,5 @@ let run ?(seed = 14) ?(trials = 2000) ?jobs () =
         "exhaustive rows settle the 2-round conjecture for that n; sampled \
          rows report the worst first known-by-all round seen";
       ];
-    counters = [];
+    counters = Table.counter_stats (Array.concat (List.rev !work));
   }

@@ -3,14 +3,15 @@
    min(f'+2, f+1) rounds; the chain adversary is exactly the schedule that
    makes "early" impossible. *)
 
-let latest_decision_round result =
+let latest_decision_round (ex : int Rrfd.Substrate.execution) =
   Array.fold_left
     (fun acc r -> match r with Some round -> max acc round | None -> acc)
-    0 result.Syncnet.Sync_net.decision_rounds
+    0 ex.Rrfd.Substrate.decision_rounds
 
 let run ?(seed = 17) ?(trials = 150) () =
   let rng = Dsim.Rng.create seed in
   let rows = ref [] in
+  let work = ref [] in
   let n = 10 and f = 6 in
   (* Sweep the number of actual crashes. *)
   List.iter
@@ -29,25 +30,24 @@ let run ?(seed = 17) ?(trials = 150) () =
             victims
         in
         let pattern = Syncnet.Faults.crash ~n specs in
-        let result =
-          Syncnet.Sync_net.run ~n ~rounds:(f + 1) ~pattern
-            ~algorithm:(Syncnet.Early_deciding.algorithm ~inputs ~f)
-            ()
+        let ex =
+          Protocols.Catalog.run_sync
+            (Protocols.Catalog.find_exn "early-deciding")
+            ~inputs ~rounds:(f + 1) ~n ~f ~pattern ()
         in
-        worst_round := max !worst_round (latest_decision_round result);
+        worst_round := max !worst_round (latest_decision_round ex);
         let masked =
           Array.mapi
             (fun i d ->
-              if Rrfd.Pset.mem i result.Syncnet.Sync_net.crashed then None
-              else d)
-            result.Syncnet.Sync_net.decisions
+              if Rrfd.Pset.mem i ex.Rrfd.Substrate.crashed then None else d)
+            ex.Rrfd.Substrate.decisions
         in
         if
-          Tasks.Agreement.check
-            ~allow_undecided:result.Syncnet.Sync_net.crashed ~k:1 ~inputs
-            masked
+          Tasks.Agreement.check ~allow_undecided:ex.Rrfd.Substrate.crashed
+            ~k:1 ~inputs masked
           <> None
-        then incr violations
+        then incr violations;
+        work := ex.Rrfd.Substrate.counters :: !work
       done;
       let bound = min (actual + 2) (f + 1) in
       rows :=
@@ -69,14 +69,14 @@ let run ?(seed = 17) ?(trials = 150) () =
   let cf = k * chain_rounds in
   let adv = Adversary.Lower_bound.build ~n:cn ~k ~rounds:chain_rounds in
   let pattern = Syncnet.Faults.crash ~n:cn adv.Adversary.Lower_bound.crash_specs in
-  let result =
-    Syncnet.Sync_net.run ~n:cn ~rounds:(cf + 2) ~pattern
-      ~algorithm:
-        (Syncnet.Early_deciding.algorithm
-           ~inputs:adv.Adversary.Lower_bound.inputs ~f:(cf + 1))
-      ()
+  let chain_ex =
+    Protocols.Catalog.run_sync
+      (Protocols.Catalog.find_exn "early-deciding")
+      ~inputs:adv.Adversary.Lower_bound.inputs ~rounds:(cf + 2) ~n:cn
+      ~f:(cf + 1) ~pattern ()
   in
-  let worst = latest_decision_round result in
+  work := chain_ex.Rrfd.Substrate.counters :: !work;
+  let worst = latest_decision_round chain_ex in
   rows :=
     [
       "chain adversary";
@@ -101,5 +101,5 @@ let run ?(seed = 17) ?(trials = 150) () =
       ];
     rows = List.rev !rows;
     notes = [ Printf.sprintf "random-crash rows: n = %d, f = %d" n f ];
-    counters = [];
+    counters = Table.counter_stats (Array.of_list (List.rev !work));
   }

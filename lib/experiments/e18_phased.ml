@@ -17,22 +17,24 @@ let run ?(seed = 18) ?(trials = 300) () =
         let inputs =
           Array.init n (fun _ -> 100 + Dsim.Rng.int trial_rng 3)
         in
-        let outcome =
-          Rrfd.Engine.run ~n ~max_rounds:horizon
+        let ex =
+          Protocols.Catalog.run_engine
+            (Protocols.Catalog.find_exn "phased-consensus")
+            ~inputs
             ~check:(Rrfd.Phased_consensus.predicate ~f ~stabilize_at)
-            ~algorithm:(Rrfd.Phased_consensus.algorithm ~inputs)
+            ~max_rounds:horizon ~n ~f
             ~detector:
               (Rrfd.Phased_consensus.detector trial_rng ~n ~f ~stabilize_at)
             ()
         in
-        max_rounds_used := max !max_rounds_used outcome.Rrfd.Engine.rounds_used;
-        work := outcome.Rrfd.Engine.counters :: !work;
+        max_rounds_used := max !max_rounds_used ex.Rrfd.Substrate.rounds_used;
+        work := ex.Rrfd.Substrate.counters :: !work;
         (match
-           Tasks.Agreement.check ~k:1 ~inputs outcome.Rrfd.Engine.decisions
+           Tasks.Agreement.check ~k:1 ~inputs ex.Rrfd.Substrate.decisions
          with
         | None -> ()
         | Some _ -> incr violations);
-        if outcome.Rrfd.Engine.rounds_used > horizon then incr late
+        if ex.Rrfd.Substrate.rounds_used > horizon then incr late
       done;
       rows :=
         [

@@ -111,6 +111,11 @@ let all =
       title = "fault-injection adversaries and the heard-of bridge";
       run = wrap_campaign E21_faultnet.run;
     };
+    {
+      id = "E22";
+      title = "cross-substrate differential matrix";
+      run = wrap_campaign E22_xsub.run;
+    };
   ]
 
 let find id =

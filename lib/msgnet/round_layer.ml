@@ -11,6 +11,7 @@ type 'out result = {
   messages_dropped : int;
   messages_duplicated : int;
   virtual_time : float;
+  counters : Rrfd.Counters.t;
 }
 
 (* Wire format is [(round, payload, kind)].  [`Retry] marks a periodic
@@ -156,9 +157,23 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?adversary
   Dsim.Sim.run sim;
   let completed = Array.init n (Heard_of.completed heard_rec) in
   let decisions = Array.map (fun p -> algorithm.decide p.state) procs in
+  let induced = Heard_of.to_history heard_rec in
+  let counters =
+    (* Physical work, not the abstract replay's: [messages] counts actual
+       network deliveries (including retransmissions and catch-up help),
+       and no detector is ever queried — the fault history is extracted
+       from what the wire did. *)
+    Rrfd.Counters.
+      {
+        rounds = Rrfd.Fault_history.rounds induced;
+        messages = Network.messages_delivered (net ());
+        detector_queries = 0;
+        predicate_checks = 0;
+      }
+  in
   {
     decisions;
-    induced = Heard_of.to_history heard_rec;
+    induced;
     heard_of = heard_rec;
     completed;
     crashed = Network.crashed (net ());
@@ -167,7 +182,47 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?adversary
     messages_dropped = Network.messages_dropped (net ());
     messages_duplicated = Network.messages_duplicated (net ());
     virtual_time = Dsim.Sim.now sim;
+    counters;
   }
+
+module As_substrate = struct
+  type config = {
+    seed : int;
+    f : int;
+    min_delay : float option;
+    max_delay : float option;
+    crashes : (Rrfd.Proc.t * float) list;
+    adversary : Adversary.t option;
+    retransmit_every : float option;
+    horizon : float option;
+  }
+
+  let name = "msgnet"
+
+  let execute config ~n ~rounds ~algorithm =
+    let result =
+      run ~seed:config.seed ?min_delay:config.min_delay
+        ?max_delay:config.max_delay ~crashes:config.crashes
+        ?adversary:config.adversary ?retransmit_every:config.retransmit_every
+        ?horizon:config.horizon ~n ~f:config.f ~rounds ~algorithm ()
+    in
+    let decision_rounds =
+      Array.mapi
+        (fun i d -> Option.map (fun _ -> result.completed.(i)) d)
+        result.decisions
+    in
+    {
+      Rrfd.Substrate.substrate = name;
+      decisions = result.decisions;
+      decision_rounds;
+      rounds_used = Rrfd.Fault_history.rounds result.induced;
+      induced = result.induced;
+      counters = result.counters;
+      violation = None;
+      crashed = result.crashed;
+      completed = result.completed;
+    }
+end
 
 type 'out differential = {
   outcome : 'out result;

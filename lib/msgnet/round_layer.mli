@@ -33,6 +33,11 @@ type 'out result = {
   messages_dropped : int;  (** Lost to the adversary. *)
   messages_duplicated : int;  (** Extra copies the adversary injected. *)
   virtual_time : float;  (** Simulated time at which the run drained. *)
+  counters : Rrfd.Counters.t;
+      (** Work accounting in the engine's vocabulary, measuring what the
+          wire actually did: [rounds] of the extracted history, [messages]
+          physically delivered (retransmissions and catch-up help
+          included), zero detector queries. *)
 }
 
 val run :
@@ -62,6 +67,27 @@ val run :
     including its random delay stream — is unchanged.
     @raise Invalid_argument if more than [f] crashes are requested or
     [retransmit_every <= 0]. *)
+
+(** {1 The asynchronous network as a substrate} *)
+
+module As_substrate : sig
+  type config = {
+    seed : int;  (** Delay/adversary randomness; part of the experiment key. *)
+    f : int;  (** Resilience: rounds complete on [n - f] messages. *)
+    min_delay : float option;
+    max_delay : float option;
+    crashes : (Rrfd.Proc.t * float) list;
+    adversary : Adversary.t option;
+    retransmit_every : float option;
+    horizon : float option;
+  }
+
+  include Rrfd.Substrate.S with type config := config
+end
+(** {!Rrfd.Substrate.S} view of {!run}.  [decision_rounds] reports the
+    last completed round of each decided process (the layer has no global
+    round clock); [completed] may be ragged when crashes or loss starve a
+    process. *)
 
 type 'out differential = {
   outcome : 'out result;

@@ -6,9 +6,11 @@ type 'out result = {
   rounds_used : int;
   induced : Rrfd.Fault_history.t;
   crashed : Rrfd.Pset.t;
+  counters : Rrfd.Counters.t;
+  violation : string option;
 }
 
-let run ~n ~rounds ~pattern ~algorithm ?(stop_when_decided = true) () =
+let run ~n ~rounds ~pattern ~algorithm ?check ?(stop_when_decided = true) () =
   if Faults.n pattern <> n then invalid_arg "Sync_net.run: pattern size mismatch";
   let open Rrfd.Algorithm in
   let states = Array.init n (fun i -> algorithm.init ~n i) in
@@ -26,7 +28,7 @@ let run ~n ~rounds ~pattern ~algorithm ?(stop_when_decided = true) () =
             decision_rounds.(i) <- Some round)
       alive
   in
-  let rec loop round history =
+  let rec loop round history counters violation =
     let alive = Pset.diff all (Faults.crashed_before pattern ~round) in
     let done_ =
       round > rounds
@@ -40,6 +42,8 @@ let run ~n ~rounds ~pattern ~algorithm ?(stop_when_decided = true) () =
         rounds_used = round - 1;
         induced = history;
         crashed = Pset.diff all alive;
+        counters;
+        violation;
       }
     else begin
       let emitted =
@@ -58,9 +62,11 @@ let run ~n ~rounds ~pattern ~algorithm ?(stop_when_decided = true) () =
               all)
       in
       let history = Rrfd.Fault_history.append history fault_sets in
+      let delivered = ref 0 in
       Pset.iter
         (fun i ->
           let faulty = fault_sets.(i) in
+          delivered := !delivered + (n - Pset.cardinal faulty);
           let received =
             Array.init n (fun j ->
                 if Pset.mem j faulty then None else emitted.(j))
@@ -69,7 +75,54 @@ let run ~n ~rounds ~pattern ~algorithm ?(stop_when_decided = true) () =
           states.(i) <- algorithm.deliver states.(i) ~round ~received ~faulty)
         alive;
       record_decisions round alive;
-      loop (round + 1) history
+      let counters =
+        Rrfd.Counters.
+          {
+            rounds = counters.rounds + 1;
+            messages = counters.messages + !delivered;
+            detector_queries = counters.detector_queries;
+            predicate_checks =
+              (counters.predicate_checks
+              + if Option.is_some check then 1 else 0);
+          }
+      in
+      (* The check observes the run without altering it: the earliest
+         violation is recorded but lock-step execution continues, so the
+         induced history is the same with and without a check. *)
+      let violation =
+        match violation with
+        | Some _ -> violation
+        | None ->
+          Option.bind check (fun p -> Rrfd.Predicate.explain p history)
+      in
+      loop (round + 1) history counters violation
     end
   in
-  loop 1 (Rrfd.Fault_history.empty ~n)
+  loop 1 (Rrfd.Fault_history.empty ~n) Rrfd.Counters.zero None
+
+module As_substrate = struct
+  type config = {
+    pattern : Faults.t;
+    check : Rrfd.Predicate.t option;
+    stop_when_decided : bool;
+  }
+
+  let name = "sync"
+
+  let execute config ~n ~rounds ~algorithm =
+    let result =
+      run ~n ~rounds ~pattern:config.pattern ~algorithm ?check:config.check
+        ~stop_when_decided:config.stop_when_decided ()
+    in
+    {
+      Rrfd.Substrate.substrate = name;
+      decisions = result.decisions;
+      decision_rounds = result.decision_rounds;
+      rounds_used = result.rounds_used;
+      induced = result.induced;
+      counters = result.counters;
+      violation = result.violation;
+      crashed = result.crashed;
+      completed = Array.make n result.rounds_used;
+    }
+end

@@ -18,6 +18,15 @@ type 'out result = {
           rounds record what it {e would} have missed — consistent with the
           RRFD reading in which every process keeps executing. *)
   crashed : Rrfd.Pset.t;  (** Processes that crashed during the run. *)
+  counters : Rrfd.Counters.t;
+      (** Work accounting in the engine's vocabulary: rounds executed,
+          messages delivered to live processes, zero detector queries
+          (the environment {e is} the detector here), predicate checks
+          when a [?check] was requested. *)
+  violation : string option;
+      (** Earliest [?check] violation of the induced history.  Purely an
+          observation: the lock-step run continues regardless, so the
+          result is otherwise identical with and without a check. *)
 }
 
 val run :
@@ -25,6 +34,7 @@ val run :
   rounds:int ->
   pattern:Faults.t ->
   algorithm:('s, 'm, 'out) Rrfd.Algorithm.t ->
+  ?check:Rrfd.Predicate.t ->
   ?stop_when_decided:bool ->
   unit ->
   'out result
@@ -33,3 +43,19 @@ val run :
     stops updating its state (its pre-crash decision, if any, stands).
     With [stop_when_decided] (default true) the run ends once every
     non-crashed process has decided. *)
+
+(** {1 The synchronous network as a substrate} *)
+
+module As_substrate : sig
+  type config = {
+    pattern : Faults.t;  (** The injected fault pattern. *)
+    check : Rrfd.Predicate.t option;
+    stop_when_decided : bool;
+  }
+
+  include Rrfd.Substrate.S with type config := config
+end
+(** {!Rrfd.Substrate.S} view of {!run}.  The induced history keeps the
+    RRFD reading in which every process executes every round, so
+    [completed] is uniform even when the pattern crashed someone —
+    [crashed] says who actually stopped. *)

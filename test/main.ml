@@ -28,6 +28,7 @@ let () =
       ("exec+net extras", Test_exec_extra.tests);
       ("bg-simulation", Test_bg.tests);
       ("snapshot-stress", Test_snapshot_stress.tests);
+      ("protocols", Test_protocols.tests);
       ("registry", Test_registry.tests);
       ("runtime", Test_runtime.tests);
       ("report", Test_report.tests);

@@ -35,8 +35,9 @@ let extrema () =
   Alcotest.(check (option int)) "min empty" None (Pset.min_elt Pset.empty);
   check_int "nth 0" 2 (Pset.choose_nth s 0);
   check_int "nth 2" 9 (Pset.choose_nth s 2);
-  Alcotest.check_raises "nth out of range" (Invalid_argument "Pset.choose_nth: index out of range")
-    (fun () -> ignore (Pset.choose_nth s 3))
+  Alcotest.check_raises "nth out of range"
+    (Invalid_argument "Pset.choose_nth: index 3 out of [0,3)") (fun () ->
+      ignore (Pset.choose_nth s 3))
 
 let enumeration () =
   let s = Pset.full 4 in
@@ -54,8 +55,12 @@ let out_of_range () =
     (Invalid_argument "Pset: process id -1 out of [0,62)") (fun () ->
       ignore (Pset.singleton (-1)));
   Alcotest.check_raises "too large full"
-    (Invalid_argument "Pset.full: size out of range") (fun () ->
-      ignore (Pset.full 63))
+    (Invalid_argument "Pset.full: size 63 out of [0,62]") (fun () ->
+      ignore (Pset.full 63));
+  Alcotest.check_raises "subset size too large"
+    (Invalid_argument "Pset.random_subset_of_size: k 5 out of [0,3]") (fun () ->
+      let rng = Dsim.Rng.create 7 in
+      ignore (Pset.random_subset_of_size rng (Pset.full 3) 5))
 
 let qcheck_props =
   let open QCheck in

@@ -2,11 +2,11 @@
 
 let ids_unique_and_ordered () =
   let ids = List.map (fun e -> e.Experiments.Registry.id) Experiments.Registry.all in
-  Alcotest.(check int) "twenty experiments" 20 (List.length ids);
-  Alcotest.(check (list string)) "sorted E1..E19 then E21"
-    (List.init 19 (fun i -> Printf.sprintf "E%d" (i + 1)) @ [ "E21" ])
+  Alcotest.(check int) "twenty-one experiments" 21 (List.length ids);
+  Alcotest.(check (list string)) "sorted E1..E19 then E21, E22"
+    (List.init 19 (fun i -> Printf.sprintf "E%d" (i + 1)) @ [ "E21"; "E22" ])
     ids;
-  Alcotest.(check int) "unique" 20 (List.length (List.sort_uniq compare ids))
+  Alcotest.(check int) "unique" 21 (List.length (List.sort_uniq compare ids))
 
 let find_is_case_insensitive () =
   (match Experiments.Registry.find "e9" with
@@ -36,16 +36,34 @@ let cells_format () =
   Alcotest.(check string) "bool true" "yes" (Experiments.Table.cell_bool true);
   Alcotest.(check string) "bool false" "NO" (Experiments.Table.cell_bool false)
 
+(* The experiments whose tables must carry per-trial engine-counter
+   summaries: everything whose run-loop drives a substrate (the campaign
+   experiments and the catalog-driven sync/engine loops). *)
+let counter_backed =
+  [ "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E14"; "E17"; "E18"; "E21"; "E22" ]
+
 let every_experiment_runs_tiny () =
   (* Smoke: every registered experiment completes at a minimal trial count
-     and produces at least one row. *)
+     and produces at least one row, with work counters where promised. *)
   List.iter
     (fun e ->
       let t = e.Experiments.Registry.run ~seed:1 ~trials:(Some 2) ~jobs:(Some 1) in
       Alcotest.(check bool)
         (e.Experiments.Registry.id ^ " has rows")
         true
-        (List.length t.Experiments.Table.rows > 0))
+        (List.length t.Experiments.Table.rows > 0);
+      if List.mem e.Experiments.Registry.id counter_backed then (
+        Alcotest.(check bool)
+          (e.Experiments.Registry.id ^ " has work counters")
+          true
+          (t.Experiments.Table.counters <> []);
+        List.iter
+          (fun (_, s) ->
+            Alcotest.(check bool)
+              (e.Experiments.Registry.id ^ " counter stats sampled")
+              true
+              (s.Runtime.Stats.count > 0))
+          t.Experiments.Table.counters))
     Experiments.Registry.all
 
 let tests =
