@@ -243,6 +243,14 @@ let bench_sync_flood n =
            ~algorithm:(Syncnet.Flood.consensus ~inputs ~f)
            ()))
 
+(* The live substrate: spawn n-1 real domains, run quorum-patience
+   flood-consensus and join.  Dominated by domain spawn/join cost, so it
+   measures the price of trading simulated rounds for real scheduling. *)
+let bench_live_substrate n =
+  let proto = Protocols.Catalog.find_exn "flood-consensus" in
+  Staged.stage (fun () ->
+      ignore (Protocols.Catalog.run_live proto ~n ~f:((n - 1) / 2) ()))
+
 let tests =
   Test.make_grouped ~name:"rrfd" ~fmt:"%s/%s"
     [
@@ -280,6 +288,8 @@ let tests =
         bench_phased_consensus;
       Test.make_indexed ~name:"campaign-kset-32-trials" ~fmt:"%s n=%d"
         ~args:[ 8; 16 ] bench_campaign_kset;
+      Test.make_indexed ~name:"live-substrate" ~fmt:"%s n=%d" ~args:[ 2; 4 ]
+        bench_live_substrate;
     ]
 
 (* Returns the (name, ns/run) estimates alongside the printed listing, so
@@ -367,15 +377,6 @@ let run_speedup () =
 
 (* Telemetry ---------------------------------------------------------- *)
 
-let git_short_sha () =
-  try
-    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
-    let line = try input_line ic with End_of_file -> "" in
-    match Unix.close_process_in ic with
-    | Unix.WEXITED 0 when line <> "" -> line
-    | _ -> "unknown"
-  with _ -> "unknown"
-
 let build_report ~subjects ~tables ~speedup =
   {
     Report.version = Report.version;
@@ -383,7 +384,8 @@ let build_report ~subjects ~tables ~speedup =
       {
         Report.seed;
         jobs = Runtime.Pool.recommended_jobs ();
-        git_sha = git_short_sha ();
+        recommended_jobs = Domain.recommended_domain_count ();
+        git_sha = Report.git_short_sha ();
         hostname = (try Unix.gethostname () with _ -> "unknown");
       };
     subjects =
@@ -414,11 +416,7 @@ let () =
   let report = build_report ~subjects ~tables ~speedup in
   Option.iter
     (fun path ->
-      let path =
-        if path = "auto" then
-          Printf.sprintf "BENCH_%s.json" report.Report.meta.Report.git_sha
-        else path
-      in
+      let path = Report.artifact_path ~prefix:"BENCH" path in
       Report.save path report;
       Printf.printf "\nbench: wrote %s\n" path)
     !json_path;

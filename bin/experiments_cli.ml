@@ -1,10 +1,11 @@
-(* Command-line runner for the paper's experiments (E1-E22).
+(* Command-line runner for the paper's experiments (E1-E23).
 
    `rrfd-experiments list`            enumerate experiments
    `rrfd-experiments run E6 E9`       run selected experiments
    `rrfd-experiments all`             run everything
    `rrfd-experiments faultnet`        fault-injection + heard-of replay
    `rrfd-experiments xsub`            cross-substrate differential matrix
+   `rrfd-experiments live`            real domains + live heard-of replay
    options: --seed, --trials, -j/--jobs *)
 
 open Cmdliner
@@ -360,16 +361,20 @@ let check_cmd =
       replay.Check.Artifact.obs.Check.Property.decisions;
     (match replay.Check.Artifact.failure with
     | Some (prop, msg) -> Printf.printf "  failure: %s: %s\n" prop msg
-    | None -> Printf.printf "  failure: none (property holds on replay!)\n");
+    | None when replay.Check.Artifact.failure_expected ->
+      Printf.printf "  failure: none (property holds on replay!)\n"
+    | None -> Printf.printf "  failure: none (clean recording, as expected)\n");
     if Check.Artifact.reproduced replay then begin
       Printf.printf "replay REPRODUCED the recorded decision vector exactly.\n";
       0
     end
     else begin
       Printf.printf
-        "replay DIVERGED from the recording (decisions %s, failure %s).\n"
+        "replay DIVERGED from the recording (decisions %s, failure %s, \
+         expected %s).\n"
         (if replay.Check.Artifact.decisions_match then "match" else "differ")
-        (if replay.Check.Artifact.failure = None then "gone" else "present");
+        (if replay.Check.Artifact.failure = None then "absent" else "present")
+        (if replay.Check.Artifact.failure_expected then "present" else "absent");
       1
     end
   in
@@ -488,9 +493,10 @@ let faultnet_cmd =
   let json_arg =
     let doc =
       "With $(b,--grid): also write the table and every trial's extracted \
-       history to $(docv) as compact JSON.  The output depends only on \
-       --seed and --trials — never on -j — which is what the faultnet \
-       smoke gate compares."
+       history to $(docv) as compact JSON ($(b,auto) names the file \
+       FAULTNET_<git-sha>.json).  The output depends only on --seed and \
+       --trials — never on -j — which is what the faultnet smoke gate \
+       compares."
     in
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
   in
@@ -571,10 +577,8 @@ let faultnet_cmd =
                      histories) );
             ]
         in
-        let oc = open_out path in
-        output_string oc (Report.Json.to_string j);
-        output_char oc '\n';
-        close_out oc;
+        let path = Report.artifact_path ~prefix:"FAULTNET" path in
+        Report.save_json path j;
         Printf.printf "grid artifact written to %s\n" path)
       json;
     if Experiments.Table.ok table then 0 else 1
@@ -607,8 +611,9 @@ let xsub_cmd =
   let json_arg =
     let doc =
       "Also write the table and every trial's per-substrate induced and \
-       replayed histories to $(docv) as compact JSON.  The output depends \
-       only on --seed and --trials — never on -j."
+       replayed histories to $(docv) as compact JSON ($(b,auto) names the \
+       file XSUB_<git-sha>.json).  The output depends only on --seed and \
+       --trials — never on -j."
     in
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
   in
@@ -665,10 +670,8 @@ let xsub_cmd =
                      details) );
             ]
         in
-        let oc = open_out path in
-        output_string oc (Report.Json.to_string j);
-        output_char oc '\n';
-        close_out oc;
+        let path = Report.artifact_path ~prefix:"XSUB" path in
+        Report.save_json path j;
         Printf.printf "matrix artifact written to %s\n" path)
       json;
     if Experiments.Table.ok table then 0 else 1
@@ -683,6 +686,216 @@ let xsub_cmd =
           engine and checked for bit-for-bit decision and P1-P5 agreement.")
     Term.(const run $ seed_arg $ trials_arg $ jobs_arg $ json_arg)
 
+(* `live` — the real-concurrency substrate: run a protocol with one OCaml
+   domain per process, extract the heard-of history the scheduler induced,
+   classify it and validate the pinned engine replay against the live
+   decisions.  Modes: one narrated run (default), a --stress campaign of
+   differential runs, --record to persist the run as a check-replayable
+   artifact, and the E23 --grid whose --json artifact regenerates
+   deterministically from recorded histories (--from). *)
+let live_cmd =
+  let protocol_arg =
+    let doc =
+      "Protocol to run (see `rrfd-experiments check --help` for the \
+       catalog names)."
+    in
+    Arg.(
+      value
+      & opt string "flood-consensus"
+      & info [ "protocol" ] ~docv:"NAME" ~doc)
+  in
+  let n_arg = Arg.(value & opt int 5 & info [ "n" ] ~doc:"System size.") in
+  let f_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "f" ] ~doc:"Resilience (default: a minority, (n-1)/2).")
+  in
+  let rounds_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rounds" ]
+          ~doc:"Round horizon (default: the protocol's at n, f).")
+  in
+  let patience_arg =
+    let doc =
+      "Round-completion policy: " ^ Live.Patience.names
+      ^ ".  Determines when a live process gives up on its peers — whom \
+         it had not heard from by then becomes its fault set D(i,r)."
+    in
+    Arg.(value & opt string "quorum" & info [ "patience" ] ~docv:"SPEC" ~doc)
+  in
+  let stress_arg =
+    let doc =
+      "Run $(docv) live executions and require every one's pinned engine \
+       replay to reproduce its decisions bit-for-bit."
+    in
+    Arg.(value & opt (some int) None & info [ "stress" ] ~docv:"N" ~doc)
+  in
+  let record_arg =
+    let doc =
+      "Write the run's extracted history as a check-replayable artifact \
+       to $(docv) ($(b,auto) names the file LIVE_<git-sha>.json); verify \
+       it later with `rrfd-experiments check --replay PATH`."
+    in
+    Arg.(value & opt (some string) None & info [ "record" ] ~docv:"FILE" ~doc)
+  in
+  let grid_arg =
+    let doc =
+      "Run the E23 n × patience grid instead of a single configuration \
+       (--protocol/-n/--f/--rounds/--patience are ignored)."
+    in
+    Arg.(value & flag & info [ "grid" ] ~doc)
+  in
+  let json_arg =
+    let doc =
+      "With $(b,--grid): write every run's record (history, inputs, \
+       decisions, wall time) to $(docv) as JSON ($(b,auto) names the \
+       file LIVE_<git-sha>.json).  Collection is nondeterministic — the \
+       scheduler decides — but regeneration from a recorded artifact \
+       ($(b,--from)) is byte-identical at any -j."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let from_arg =
+    let doc =
+      "With $(b,--grid): skip the live phase and rebuild the table (and \
+       --json artifact) deterministically from the records in $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "from" ] ~docv:"FILE" ~doc)
+  in
+  let or_die = function
+    | Ok v -> v
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  let find_protocol name =
+    match Protocols.Catalog.find name with
+    | Some p -> p
+    | None ->
+      Printf.eprintf "unknown protocol %S; choose from: %s\n" name
+        (String.concat ", " Protocols.Catalog.names);
+      exit 2
+  in
+  let differential_once proto ~inputs ~patience ~n ~f ~rounds =
+    let ex = Protocols.Catalog.run_live proto ~inputs ~patience ~n ~f ~rounds () in
+    let replayed =
+      Protocols.Catalog.replay proto ~inputs ~f
+        ~history:ex.Rrfd.Substrate.induced ()
+    in
+    (ex, ex.Rrfd.Substrate.decisions = replayed.Rrfd.Substrate.decisions)
+  in
+  let run_single ~proto_name ~patience ~n ~f ~rounds ~record =
+    let proto = find_protocol proto_name in
+    let inputs = Protocols.Catalog.default_inputs ~n in
+    let ex, matched = differential_once proto ~inputs ~patience ~n ~f ~rounds in
+    Printf.printf "live: %s over n=%d f=%d rounds=%d, patience %s\n" proto_name
+      n f rounds
+      (Live.Patience.to_string patience);
+    (match ex.Rrfd.Substrate.wall_ns with
+    | Some ns -> Printf.printf "  wall clock: %.3f ms\n" (Int64.to_float ns /. 1e6)
+    | None -> ());
+    let induced = ex.Rrfd.Substrate.induced in
+    Format.printf "  induced history:@;<1 4>@[<v>%a@]@." Rrfd.Fault_history.pp
+      induced;
+    Printf.printf "  compact: %s\n"
+      (Rrfd.Fault_history.to_string_compact induced);
+    Printf.printf "  predicates (f=%d): %s\n" f
+      (String.concat "  "
+         (List.map
+            (fun (p, b) -> Printf.sprintf "%s=%s" p (if b then "yes" else "no"))
+            (Msgnet.Heard_of.classify ~f induced)));
+    if matched then
+      Printf.printf "  replay: engine decisions match the live run's.\n"
+    else Printf.printf "  replay: DIVERGED from the abstract engine.\n";
+    let recorded_ok =
+      match record with
+      | None -> true
+      | Some path ->
+        let path = Report.artifact_path ~prefix:"LIVE" path in
+        (match
+           Check.Artifact.record ~sut_spec:proto_name ~n ~history:induced ()
+         with
+        | Ok artifact ->
+          Check.Artifact.save path artifact;
+          Printf.printf
+            "  recorded %s (verify: rrfd-experiments check --replay %s)\n"
+            path path;
+          true
+        | Error msg ->
+          Printf.printf "  record FAILED: %s\n" msg;
+          false)
+    in
+    if matched && recorded_ok then 0 else 1
+  in
+  let run_stress ~seed ~proto_name ~patience ~n ~f ~rounds count =
+    let proto = find_protocol proto_name in
+    let mismatches = ref 0 in
+    for trial = 0 to count - 1 do
+      let rng = Dsim.Rng.derive ~seed ~stream:trial in
+      let inputs = Protocols.Catalog.default_inputs ~n in
+      Dsim.Rng.shuffle_in_place rng inputs;
+      let _, matched = differential_once proto ~inputs ~patience ~n ~f ~rounds in
+      if not matched then incr mismatches
+    done;
+    Printf.printf
+      "live stress: %s, n=%d f=%d rounds=%d, patience %s: %d/%d replays \
+       matched\n"
+      proto_name n f rounds
+      (Live.Patience.to_string patience)
+      (count - !mismatches) count;
+    if !mismatches = 0 then 0 else 1
+  in
+  let run_grid ~seed ~trials ~jobs ~json ~from =
+    let records =
+      match from with
+      | Some path ->
+        Experiments.E23_live.of_json (Report.Json.of_string (In_channel.with_open_bin path In_channel.input_all))
+      | None -> Experiments.E23_live.collect ~seed ?trials ?jobs ()
+    in
+    let table = Experiments.E23_live.table_of records in
+    Experiments.Table.print table;
+    Option.iter
+      (fun path ->
+        let path = Report.artifact_path ~prefix:"LIVE" path in
+        Report.save_json path (Experiments.E23_live.to_json records);
+        Printf.printf "live-grid artifact written to %s\n" path)
+      json;
+    if Experiments.Table.ok table then 0 else 1
+  in
+  let run seed trials jobs proto_name n f rounds patience stress record grid
+      json from =
+    setup_logs ();
+    if grid then run_grid ~seed ~trials ~jobs ~json ~from
+    else
+      let patience = or_die (Live.Patience.of_spec patience) in
+      let f = match f with Some f -> f | None -> (n - 1) / 2 in
+      let rounds =
+        match rounds with
+        | Some r -> r
+        | None ->
+          Protocols.Catalog.horizon (find_protocol proto_name) ~n ~f
+      in
+      match stress with
+      | Some count -> run_stress ~seed ~proto_name ~patience ~n ~f ~rounds count
+      | None -> run_single ~proto_name ~patience ~n ~f ~rounds ~record
+  in
+  Cmd.v
+    (Cmd.info "live"
+       ~doc:
+         "Run a protocol on the live substrate — one OCaml domain per \
+          process, real mailboxes, real clock — extract the heard-of fault \
+          history the scheduler induced, classify it against the paper's \
+          predicate ladder and differentially replay it pinned on the \
+          abstract engine.  One run, a --stress campaign, a --record \
+          artifact for check --replay, or the E23 --grid.")
+    Term.(
+      const run $ seed_arg $ trials_arg $ jobs_arg $ protocol_arg $ n_arg
+      $ f_arg $ rounds_arg $ patience_arg $ stress_arg $ record_arg $ grid_arg
+      $ json_arg $ from_arg)
+
 let main =
   let doc =
     "Reproduce the results of Gafni's 'Round-by-Round Fault Detectors' \
@@ -691,6 +904,6 @@ let main =
   Cmd.group
     (Cmd.info "rrfd-experiments" ~version:"1.0.0" ~doc)
     [ list_cmd; run_cmd; all_cmd; lattice_cmd; trace_cmd; check_cmd;
-      faultnet_cmd; xsub_cmd ]
+      faultnet_cmd; xsub_cmd; live_cmd ]
 
 let () = exit (Cmd.eval' main)

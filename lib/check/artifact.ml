@@ -102,9 +102,47 @@ let load path =
     ~finally:(fun () -> close_in ic)
     (fun () -> of_json (Json.of_string (In_channel.input_all ic)))
 
+(* Recordings: the same artifact format, written by an observation run
+   (live --record) rather than a property refutation.  The decision
+   vector is computed through [Checker.test_history] — the exact code
+   path [replay] will take — so a recording round-trips by construction;
+   an empty [failure] marks that the replay is expected to pass. *)
+let record ~sut_spec ?(predicate_spec = "true") ?(seed = 0) ~n ~history () =
+  Result.bind (Spec.sut sut_spec) (fun sut ->
+      Result.bind (Spec.predicate predicate_spec) (fun predicate ->
+          let obs, _ = Checker.test_history ~sut ~predicate ~properties:[] history in
+          match obs.Property.violation with
+          | Some v ->
+            Error
+              (Printf.sprintf
+                 "refusing to record: history violates %s on replay (%s)"
+                 predicate_spec v)
+          | None ->
+            Ok
+              {
+                version;
+                sut = sut_spec;
+                predicate = predicate_spec;
+                properties = [];
+                seed;
+                counterexample =
+                  {
+                    Checker.sut = Sut.name sut;
+                    n;
+                    inputs = Sut.default_inputs ~n;
+                    history;
+                    property = "";
+                    failure = "";
+                    decisions = obs.Property.decisions;
+                    trial = -1;
+                    shrink_steps = 0;
+                  };
+              }))
+
 type replay = {
   obs : Property.obs;
   failure : (string * string) option;
+  failure_expected : bool;
   decisions_match : bool;
   transcript : string;
 }
@@ -132,9 +170,11 @@ let replay t =
                     Option.map
                       (fun (p, msg) -> (Property.name p, msg))
                       failure;
+                  failure_expected = t.counterexample.Checker.failure <> "";
                   decisions_match =
                     obs.Property.decisions = t.counterexample.Checker.decisions;
                   transcript = Sut.transcript sut ~check:predicate history;
                 })))
 
-let reproduced r = r.decisions_match && r.failure <> None
+let reproduced r =
+  r.decisions_match && (r.failure <> None) = r.failure_expected

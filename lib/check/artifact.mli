@@ -29,6 +29,23 @@ val make :
   Checker.counterexample ->
   t
 
+val record :
+  sut_spec:string ->
+  ?predicate_spec:string ->
+  ?seed:int ->
+  n:int ->
+  history:Rrfd.Fault_history.t ->
+  unit ->
+  (t, string) result
+(** Package an {e observed} history (e.g. one extracted from a live run)
+    in the same artifact format, so [check --replay] validates recordings
+    and counterexamples alike.  The decision vector is computed through
+    {!Checker.test_history} — the exact path {!replay} re-executes — so a
+    recording reproduces by construction; its empty [failure] field marks
+    that the replay is expected to pass every property.
+    [predicate_spec] defaults to ["true"]; [Error] if the spec strings do
+    not parse or the history violates the predicate on replay. *)
+
 val to_json : t -> Report.Json.t
 
 val of_json : Report.Json.t -> t
@@ -45,6 +62,9 @@ type replay = {
   obs : Property.obs;  (** The re-execution. *)
   failure : (string * string) option;
       (** Violated property (name, message) on replay, if any. *)
+  failure_expected : bool;
+      (** Whether the artifact recorded a failure (a counterexample) or a
+          clean observation (a {!record}ing, empty [failure] field). *)
   decisions_match : bool;
       (** Replayed decision vector identical to the recorded one. *)
   transcript : string;  (** Full {!Rrfd.Trace} rendering of the replay. *)
@@ -55,5 +75,6 @@ val replay : t -> (replay, string) result
     parses (an artifact from a different vocabulary version). *)
 
 val reproduced : replay -> bool
-(** The replay still fails some property {e and} the decision vector
-    matches the recording. *)
+(** The decision vector matches the recording {e and} the replay's
+    failure status is the recorded one: a counterexample must still fail
+    some property, a clean recording must still pass them all. *)

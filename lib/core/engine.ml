@@ -109,6 +109,7 @@ module As_substrate = struct
       violation = outcome.violation;
       crashed = Pset.empty;
       completed = Array.make n outcome.rounds_used;
+      wall_ns = None;
     }
 end
 

@@ -8,6 +8,7 @@ type 'out execution = {
   violation : string option;
   crashed : Pset.t;
   completed : int array;
+  wall_ns : int64 option;
 }
 
 module type S = sig

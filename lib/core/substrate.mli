@@ -2,20 +2,22 @@
 
     The paper's central claim is that one algorithm text runs unchanged
     over synchrony, asynchrony and shared memory once the environment is
-    presented as an RRFD.  The repository carries several concrete
+    presented as an RRFD.  The repository carries four concrete
     environments — the abstract detector-driven {!Engine}, the lock-step
     synchronous network ([Syncnet.Sync_net]), the event-driven
-    asynchronous round layer ([Msgnet.Round_layer]) — and each of them is
-    a {e substrate}: something that drives an {!Algorithm} and yields the
-    same uniform observation, an {!execution}.
+    asynchronous round layer ([Msgnet.Round_layer]), and the
+    real-concurrency domain-per-process runner ([Live.Live]) — and each
+    of them is a {e substrate}: something that drives an {!Algorithm} and
+    yields the same uniform observation, an {!execution}.
 
     A substrate implements {!S}: a name, a substrate-specific [config]
-    (the detector, the fault pattern, the network adversary …) and an
-    [execute] function polymorphic in the algorithm's state, message and
-    output types.  Everything downstream — the protocol catalog, the
-    cross-substrate differential matrix (E22), the model checker's SUTs,
-    the experiment tables — consumes executions and never needs to know
-    which substrate produced them.  This is the executable form of the
+    (the detector, the fault pattern, the network adversary, the patience
+    policy …) and an [execute] function polymorphic in the algorithm's
+    state, message and output types.  Everything downstream — the
+    protocol catalog, the cross-substrate differential matrix (E22), the
+    live-vs-model matrix (E23), the model checker's SUTs, the experiment
+    tables — consumes executions and never needs to know which substrate
+    produced them.  This is the executable form of the
     "communication-closed" correspondence (Damian et al.) and the
     heard-of characterisation (Shimi et al.): whatever the wall clock did,
     the observable content of a run is its decisions plus the fault
@@ -27,13 +29,19 @@ type 'out execution = {
       (** First decision of each process ([None] if it never decided). *)
   decision_rounds : int option array;
       (** Round at which each process first decided, when the substrate
-          tracks it (the asynchronous round layer reports the last
-          completed round of a decided process). *)
-  rounds_used : int;  (** Rounds executed (the induced history's length). *)
+          tracks it.  The asynchronous round layer reports the last
+          completed round of a decided process; the live substrate
+          reports the (real-time) round whose delivery first made
+          [decide] answer [Some _] at that process. *)
+  rounds_used : int;  (** Rounds executed (the induced history's length).
+          Simulated substrates may stop early once every process decided;
+          the live substrate has no global decided-everywhere view, so
+          its processes always run the full horizon and [rounds_used]
+          equals the requested round count. *)
   induced : Fault_history.t;
       (** The fault history the run induced: for the engine this is the
-          detector's output, for a real network the per-round complement
-          of who was heard. *)
+          detector's output, for a real network — simulated or live — the
+          per-round complement of who was heard. *)
   counters : Counters.t;
       (** Exact work accounting, in the same vocabulary on every
           substrate: rounds, messages delivered, detector queries,
@@ -48,6 +56,12 @@ type 'out execution = {
       (** Rounds each process completed.  Lock-step substrates complete
           the same number everywhere; the asynchronous layer may leave
           slow processes behind. *)
+  wall_ns : int64 option;
+      (** Real elapsed wall-clock time of the run in nanoseconds.
+          [Some _] only on substrates whose nondeterminism comes from an
+          actual scheduler (the live substrate); [None] on deterministic
+          simulations, whose "time" is virtual and whose outputs must not
+          depend on the wall clock. *)
 }
 
 module type S = sig
@@ -55,7 +69,8 @@ module type S = sig
   (** Everything the substrate needs besides the algorithm: the
       detector/check for the engine, the fault pattern for the
       synchronous network, the seed/adversary/crash schedule for the
-      asynchronous one. *)
+      asynchronous one, the resilience/patience policy for the live
+      one. *)
 
   val name : string
 
@@ -67,6 +82,6 @@ module type S = sig
     'out execution
   (** Drive [algorithm] for up to [rounds] rounds over [n] processes.
       Implementations preserve their substrate's native semantics (early
-      stop on decision, crash schedules, repair protocols …); the record
-      is the common observable. *)
+      stop on decision, crash schedules, repair protocols, patience
+      deadlines …); the record is the common observable. *)
 end

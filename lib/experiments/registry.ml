@@ -116,6 +116,11 @@ let all =
       title = "cross-substrate differential matrix";
       run = wrap_campaign E22_xsub.run;
     };
+    {
+      id = "E23";
+      title = "live-substrate heard-of predicate rates";
+      run = wrap_campaign E23_live.run;
+    };
   ]
 
 let find id =

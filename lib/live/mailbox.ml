@@ -1,0 +1,53 @@
+type 'm t = {
+  mutex : Mutex.t;
+  wakeup : Condition.t;
+  mutable pending : (int * int * 'm) list; (* newest first *)
+}
+
+let create () =
+  { mutex = Mutex.create (); wakeup = Condition.create (); pending = [] }
+
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let post t ~from ~round msg =
+  Mutex.lock t.mutex;
+  t.pending <- (from, round, msg) :: t.pending;
+  Condition.signal t.wakeup;
+  Mutex.unlock t.mutex
+
+let poke t =
+  Mutex.lock t.mutex;
+  Condition.broadcast t.wakeup;
+  Mutex.unlock t.mutex
+
+let take_pending t =
+  let got = t.pending in
+  t.pending <- [];
+  List.rev got
+
+(* Stdlib Condition has no timed wait, so the deadline path polls: drop
+   the lock, sleep a few scheduler quanta, retry.  20 µs keeps the poll
+   an order of magnitude below any deadline worth configuring while
+   staying invisible next to a Domain context switch. *)
+let poll_interval = 20e-6
+
+let receive t ?deadline_ns () =
+  match deadline_ns with
+  | None ->
+    Mutex.lock t.mutex;
+    if t.pending = [] then Condition.wait t.wakeup t.mutex;
+    let got = take_pending t in
+    Mutex.unlock t.mutex;
+    got
+  | Some deadline ->
+    let rec loop () =
+      Mutex.lock t.mutex;
+      let got = take_pending t in
+      Mutex.unlock t.mutex;
+      if got <> [] || now_ns () >= deadline then got
+      else begin
+        Unix.sleepf poll_interval;
+        loop ()
+      end
+    in
+    loop ()

@@ -1,0 +1,31 @@
+(** A concurrent mailbox: the only channel between live process domains.
+
+    One mailbox per receiving process, many posting domains.  Posts carry
+    [(from, round, payload)] envelopes; the receiver drains them in
+    arrival order and files them into its private round buffers.  The
+    implementation is a [Mutex]/[Condition] pair over a reversed list —
+    the classic monitor — because the receiver must be able to {e block}
+    until mail arrives ({!receive}); lock-free rings only help when both
+    sides spin, and a live round spends most of its life waiting. *)
+
+type 'm t
+
+val create : unit -> 'm t
+
+val post : 'm t -> from:int -> round:int -> 'm -> unit
+(** Enqueue and wake the receiver.  Never blocks beyond the mutex. *)
+
+val receive : 'm t -> ?deadline_ns:int64 -> unit -> (int * int * 'm) list
+(** Drain everything pending, in arrival order.  With the box empty,
+    blocks until a {!post} or a {!poke} arrives — or, when [deadline_ns]
+    (absolute, {!now_ns} clock) is given, polls until the deadline passes
+    and then returns [[]].  A wake with nothing pending (a poke, a racing
+    drain) also returns [[]]: callers re-check their own predicate and
+    loop. *)
+
+val poke : 'm t -> unit
+(** Wake a blocked receiver without posting (abort propagation). *)
+
+val now_ns : unit -> int64
+(** Wall-clock nanoseconds ([Unix.gettimeofday] scaled): the clock
+    {!receive} deadlines and the substrate's [wall_ns] are measured on. *)

@@ -1,0 +1,61 @@
+type t = Wait_all | Wait_quorum | Deadline of int64
+
+let names = "all, quorum, deadline:ns=_ (or us=_/ms=_)"
+
+(* Same [name] / [name:k=v,...] grammar as Check.Spec, inlined because
+   live sits below check in the dependency order. *)
+let of_spec spec =
+  let parse_params rest =
+    List.fold_left
+      (fun acc pair ->
+        Result.bind acc (fun params ->
+            match String.split_on_char '=' pair with
+            | [ key; value ] -> (
+              match Int64.of_string_opt value with
+              | Some v when v >= 0L -> Ok ((key, v) :: params)
+              | _ ->
+                Error
+                  (Printf.sprintf "%S: %S is not a non-negative int" spec value)
+              )
+            | _ ->
+              Error (Printf.sprintf "%S: expected key=value, got %S" spec pair)))
+      (Ok [])
+      (String.split_on_char ',' rest)
+  in
+  let name, params =
+    match String.index_opt spec ':' with
+    | None -> (spec, Ok [])
+    | Some i ->
+      ( String.sub spec 0 i,
+        parse_params (String.sub spec (i + 1) (String.length spec - i - 1)) )
+  in
+  Result.bind params (fun params ->
+      let bare t =
+        if params = [] then Ok t
+        else Error (Printf.sprintf "%S: %s takes no parameters" spec name)
+      in
+      match name with
+      | "all" -> bare Wait_all
+      | "quorum" -> bare Wait_quorum
+      | "deadline" -> (
+        let scaled key factor =
+          Option.map (fun v -> Int64.mul v factor) (List.assoc_opt key params)
+        in
+        match
+          List.find_map Fun.id
+            [ scaled "ms" 1_000_000L; scaled "us" 1_000L; scaled "ns" 1L ]
+        with
+        | Some ns -> Ok (Deadline ns)
+        | None ->
+          Error
+            (Printf.sprintf "%S: deadline needs ns=, us= or ms=" spec))
+      | _ ->
+        Error
+          (Printf.sprintf "unknown patience %S; choose from: %s" spec names))
+
+let to_string = function
+  | Wait_all -> "all"
+  | Wait_quorum -> "quorum"
+  | Deadline ns -> Printf.sprintf "deadline:ns=%Ld" ns
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -221,6 +221,7 @@ module As_substrate = struct
       violation = None;
       crashed = result.crashed;
       completed = result.completed;
+      wall_ns = None;
     }
 end
 

@@ -241,6 +241,18 @@ let run_msgnet t ?inputs ?(crashes = []) ?adversary ?min_delay ?max_delay
     ~n ~rounds
     ~algorithm:(p.algorithm ~inputs ~f)
 
+let run_live t ?inputs ?patience ?rounds ~n ~f () =
+  let (Packed p) = t.packed in
+  let inputs = match inputs with Some i -> i | None -> default_inputs ~n in
+  let rounds = match rounds with Some r -> r | None -> t.horizon ~n ~f in
+  let patience =
+    match patience with Some p -> p | None -> Live.Patience.Wait_quorum
+  in
+  Live.As_substrate.execute
+    { Live.As_substrate.patience; f }
+    ~n ~rounds
+    ~algorithm:(p.algorithm ~inputs ~f)
+
 (* Pinned replay: the differential oracle.  The history becomes an
    [of_schedule] detector with a failure-free tail, the engine runs it for
    exactly the history's length without early stopping, so the replay's

@@ -94,6 +94,22 @@ val run_sync :
 (** The lock-step synchronous network ({!Syncnet.Sync_net.As_substrate}).
     [rounds] defaults to the protocol's horizon at ([n], [f]). *)
 
+val run_live :
+  t ->
+  ?inputs:int array ->
+  ?patience:Live.Patience.t ->
+  ?rounds:int ->
+  n:int ->
+  f:int ->
+  unit ->
+  int Rrfd.Substrate.execution
+(** The live substrate ({!Live.As_substrate}): one OCaml domain per
+    process, real scheduling, omission observed rather than injected.
+    [patience] defaults to {!Live.Patience.Wait_quorum} (at the given
+    [f]); [rounds] defaults to the protocol's horizon at ([n], [f]).
+    Nondeterministic run to run — but [execution.induced] is the exact
+    heard-of record, so {!replay} of it is the deterministic pin. *)
+
 val run_msgnet :
   t ->
   ?inputs:int array ->

@@ -28,7 +28,13 @@ type speedup = {
   identical : bool;
 }
 
-type meta = { seed : int; jobs : int; git_sha : string; hostname : string }
+type meta = {
+  seed : int;
+  jobs : int;
+  recommended_jobs : int;
+  git_sha : string;
+  hostname : string;
+}
 
 type t = {
   version : int;
@@ -94,6 +100,8 @@ let to_json r =
           [
             ("seed", Json.Number (float_of_int r.meta.seed));
             ("jobs", Json.Number (float_of_int r.meta.jobs));
+            ( "recommended_jobs",
+              Json.Number (float_of_int r.meta.recommended_jobs) );
             ("git_sha", Json.String r.meta.git_sha);
             ("hostname", Json.String r.meta.hostname);
           ] );
@@ -155,6 +163,11 @@ let of_json j =
       {
         seed = Json.int (Json.member "seed" m);
         jobs = Json.int (Json.member "jobs" m);
+        recommended_jobs =
+          (* absent in pre-oversubscription-era reports: 0 = unrecorded *)
+          (match Json.member "recommended_jobs" m with
+          | Json.Null -> 0
+          | j -> Json.int j);
         git_sha = Json.str (Json.member "git_sha" m);
         hostname = Json.str (Json.member "hostname" m);
       };
@@ -183,6 +196,30 @@ let load path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+(* ------------------------------------------------------------------ *)
+(* Artifact plumbing shared by every subcommand that writes one.       *)
+
+let git_short_sha () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let artifact_path ~prefix path =
+  if path = "auto" then Printf.sprintf "%s_%s.json" prefix (git_short_sha ())
+  else path
+
+let save_json path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string json);
+      output_char oc '\n')
 
 (* ------------------------------------------------------------------ *)
 (* Regression check.                                                   *)

@@ -57,7 +57,17 @@ type speedup = {
   identical : bool;  (** Serial and parallel tables bit-identical. *)
 }
 
-type meta = { seed : int; jobs : int; git_sha : string; hostname : string }
+type meta = {
+  seed : int;
+  jobs : int;
+  recommended_jobs : int;
+      (** [Domain.recommended_domain_count] on the recording machine, so
+          a report shows whether [jobs] oversubscribed it.  0 in reports
+          written before the field existed (the decoder tolerates its
+          absence). *)
+  git_sha : string;
+  hostname : string;
+}
 
 type t = {
   version : int;
@@ -84,6 +94,23 @@ val save : string -> t -> unit
 
 val load : string -> t
 (** @raise Json.Error on malformed content; [Sys_error] on I/O failure. *)
+
+(** {1 Artifact plumbing}
+
+    Every subcommand that writes a JSON artifact ([bench --json],
+    [faultnet --json], [xsub --json], [live --record]) resolves its
+    output path and serialises through these, so the ["auto"] naming
+    convention is defined exactly once. *)
+
+val git_short_sha : unit -> string
+(** [git rev-parse --short HEAD], or ["unknown"] outside a work tree. *)
+
+val artifact_path : prefix:string -> string -> string
+(** [artifact_path ~prefix path] is [path] verbatim, except the literal
+    ["auto"] becomes [<prefix>_<git_short_sha>.json]. *)
+
+val save_json : string -> Json.t -> unit
+(** Write compact JSON with a trailing newline. *)
 
 (** {1 Regression check} *)
 

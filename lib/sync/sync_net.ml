@@ -124,5 +124,6 @@ module As_substrate = struct
       violation = result.violation;
       crashed = result.crashed;
       completed = Array.make n result.rounds_used;
+      wall_ns = None;
     }
 end

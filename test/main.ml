@@ -34,4 +34,5 @@ let () =
       ("report", Test_report.tests);
       ("check", Test_check.tests);
       ("faultnet", Test_faultnet.tests);
+      ("live", Test_live.tests);
     ]

@@ -2,11 +2,12 @@
 
 let ids_unique_and_ordered () =
   let ids = List.map (fun e -> e.Experiments.Registry.id) Experiments.Registry.all in
-  Alcotest.(check int) "twenty-one experiments" 21 (List.length ids);
-  Alcotest.(check (list string)) "sorted E1..E19 then E21, E22"
-    (List.init 19 (fun i -> Printf.sprintf "E%d" (i + 1)) @ [ "E21"; "E22" ])
+  Alcotest.(check int) "twenty-two experiments" 22 (List.length ids);
+  Alcotest.(check (list string)) "sorted E1..E19 then E21..E23"
+    (List.init 19 (fun i -> Printf.sprintf "E%d" (i + 1))
+    @ [ "E21"; "E22"; "E23" ])
     ids;
-  Alcotest.(check int) "unique" 21 (List.length (List.sort_uniq compare ids))
+  Alcotest.(check int) "unique" 22 (List.length (List.sort_uniq compare ids))
 
 let find_is_case_insensitive () =
   (match Experiments.Registry.find "e9" with
@@ -40,7 +41,10 @@ let cells_format () =
    summaries: everything whose run-loop drives a substrate (the campaign
    experiments and the catalog-driven sync/engine loops). *)
 let counter_backed =
-  [ "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E14"; "E17"; "E18"; "E21"; "E22" ]
+  [
+    "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E14"; "E17"; "E18"; "E21"; "E22";
+    "E23";
+  ]
 
 let every_experiment_runs_tiny () =
   (* Smoke: every registered experiment completes at a minimal trial count

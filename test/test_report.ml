@@ -7,7 +7,14 @@ module J = Report.Json
 let mk_report ?(subjects = []) ?(tables = []) ?speedup () =
   {
     R.version = R.version;
-    meta = { R.seed = 7; jobs = 2; git_sha = "abc1234"; hostname = "host" };
+    meta =
+      {
+        R.seed = 7;
+        jobs = 2;
+        recommended_jobs = 4;
+        git_sha = "abc1234";
+        hostname = "host";
+      };
     subjects;
     tables;
     speedup;
@@ -49,6 +56,14 @@ let json_roundtrip () =
   let r2 = mk_report () in
   Alcotest.(check bool) "empty report round-trip" true
     (r2 = R.of_string (R.to_string r2));
+  (* reports written before the oversubscription guard lack
+     recommended_jobs; they decode with the 0 = unrecorded sentinel *)
+  let old =
+    {|{"version": 1, "meta": {"seed": 1, "jobs": 2, "git_sha": "x",
+       "hostname": "h"}, "subjects": [], "tables": [], "speedup": null}|}
+  in
+  Alcotest.(check int) "tolerant recommended_jobs decode" 0
+    (R.of_string old).R.meta.R.recommended_jobs;
   (* a wrong version is refused *)
   match R.of_string {|{"version": 99, "meta": {}}|} with
   | exception J.Error _ -> ()

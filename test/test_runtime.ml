@@ -115,6 +115,30 @@ let campaign_stats_roundtrip () =
   feq "min" 0.0 s.Stats.min;
   feq "max" 99.0 s.Stats.max
 
+(* Pool.search determinism under contention.  Dense hits make many workers
+   race the best-index CAS loop at once; whatever interleaving the
+   scheduler produces, the answer must be the serial one — the hit with
+   the smallest index.  Repeated because a CAS livelock or lost update is
+   a some-interleavings bug, not an every-run bug. *)
+let pool_search_contended () =
+  let n = 4096 in
+  for round = 1 to 40 do
+    (* every third index hits: thousands of concurrent lower_best calls *)
+    let dense i = if i mod 3 = 0 then Some (i * 10) else None in
+    Alcotest.(check (option int))
+      (Printf.sprintf "dense hits, round %d" round)
+      (Some 0)
+      (Pool.search ~jobs:8 ~n dense);
+    (* first hit deep inside a late chunk: early workers race past it *)
+    let sparse i = if i >= 2000 then Some i else None in
+    Alcotest.(check (option int))
+      (Printf.sprintf "sparse hits, round %d" round)
+      (Some 2000)
+      (Pool.search ~jobs:8 ~n sparse)
+  done;
+  Alcotest.(check (option int)) "no hits" None
+    (Pool.search ~jobs:8 ~n (fun _ -> None))
+
 (* The end-to-end contract of the tentpole: a campaign-backed experiment
    renders the same table at -j 1 and -j 4 for the same seed. *)
 let table_testable =
@@ -153,6 +177,8 @@ let tests =
       campaign_map_keeps_order;
     Alcotest.test_case "campaign stats roundtrip" `Quick
       campaign_stats_roundtrip;
+    Alcotest.test_case "pool search deterministic under contention" `Quick
+      pool_search_contended;
     Alcotest.test_case "registry tables deterministic across jobs" `Slow
       registry_deterministic_across_jobs;
   ]
