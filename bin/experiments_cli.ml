@@ -1,4 +1,4 @@
-(* Command-line runner for the paper's experiments (E1-E23).
+(* Command-line runner for the paper's experiments (E1-E25).
 
    `rrfd-experiments list`            enumerate experiments
    `rrfd-experiments run E6 E9`       run selected experiments
@@ -6,7 +6,11 @@
    `rrfd-experiments faultnet`        fault-injection + heard-of replay
    `rrfd-experiments xsub`            cross-substrate differential matrix
    `rrfd-experiments live`            real domains + live heard-of replay
+   `rrfd-experiments scale`           large-n grid / throughput gate
    options: --seed, --trials, -j/--jobs *)
+
+(* The raw OS monotonic clock, for the scale throughput measurements. *)
+module Mclock = Monotonic_clock
 
 open Cmdliner
 
@@ -896,6 +900,140 @@ let live_cmd =
       $ f_arg $ rounds_arg $ patience_arg $ stress_arg $ record_arg $ grid_arg
       $ json_arg $ from_arg)
 
+(* `scale` — the E25 large-n grid on the wide Pset.  Default mode runs
+   the correctness campaign (kset / heartbeat / ct at every --ns size)
+   and optionally writes a deterministic JSON artifact: it depends only
+   on --seed, --trials and --ns — never on -j — which is what the
+   scale smoke gate compares byte-for-byte.  --bench instead times the
+   same probes wall-clock, denominates them in work units (ns/run,
+   ns/round, ns/msg) and gates them against a saved subjects-only BENCH
+   report with --check/--tolerance. *)
+let scale_cmd =
+  let ns_arg =
+    let doc =
+      "Comma-separated system sizes to run the probes at.  Anything above \
+       62 exercises the multi-word Pset representation; n = 10000 is \
+       feasible for the kset probe but budget minutes for the simulated \
+       network probes."
+    in
+    Arg.(value & opt (list int) [ 100; 1000 ] & info [ "ns" ] ~docv:"N,N,..." ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Write the grid's per-trial digests (ok flags, work counters, \
+       decision checksums) to $(docv) as JSON ($(b,auto) names the file \
+       SCALE_<git-sha>.json).  With $(b,--bench): write the throughput \
+       subjects as a BENCH report instead (the shape --check consumes)."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let bench_arg =
+    let doc =
+      "Time the probes instead of campaigning them: wall-clock each \
+       (probe, n) cell, report ns/run with ns/round and ns/msg work \
+       denominators (plus rounds/s and msgs/s for humans)."
+    in
+    Arg.(value & flag & info [ "bench" ] ~doc)
+  in
+  let repeats_arg =
+    let doc = "With $(b,--bench): timed repetitions per (probe, n) cell." in
+    Arg.(value & opt int 2 & info [ "repeats" ] ~doc)
+  in
+  let check_arg =
+    let doc =
+      "With $(b,--bench): compare the fresh throughput subjects against \
+       the BENCH report at $(docv); exit non-zero on a regression beyond \
+       --tolerance."
+    in
+    Arg.(value & opt (some string) None & info [ "check" ] ~docv:"BASELINE" ~doc)
+  in
+  let tolerance_arg =
+    let doc =
+      "Allowed ns/run slowdown (percent) before --check fails.  The \
+       default is deliberately loose: shared CI runners jitter, and the \
+       gate exists to catch the representation going accidentally \
+       quadratic, not 2x noise."
+    in
+    Arg.(value & opt float 400.0 & info [ "tolerance" ] ~doc)
+  in
+  let build_report subjects =
+    {
+      Report.version = Report.version;
+      meta =
+        {
+          Report.seed = 0;
+          jobs = Runtime.Pool.recommended_jobs ();
+          recommended_jobs = Domain.recommended_domain_count ();
+          git_sha = Report.git_short_sha ();
+          hostname = (try Unix.gethostname () with _ -> "unknown");
+        };
+      subjects;
+      tables = [];
+      speedup = None;
+    }
+  in
+  let run_bench ~seed ~ns ~repeats ~json ~check ~tolerance =
+    let now_ns () = Mclock.now () in
+    let ms = Experiments.E25_scale.measure ~now_ns ~seed ~ns ~repeats () in
+    Experiments.E25_scale.print_measurements ms;
+    let report = build_report (Experiments.E25_scale.subjects_of ms) in
+    Option.iter
+      (fun path ->
+        let path = Report.artifact_path ~prefix:"SCALE" path in
+        Report.save path report;
+        Printf.printf "scale bench report written to %s\n" path)
+      json;
+    let all_ok = List.for_all (fun m -> m.Experiments.E25_scale.m_ok) ms in
+    if not all_ok then
+      Printf.printf "scale: a probe FAILED its correctness gate while timed\n";
+    let check_passed =
+      match check with
+      | None -> true
+      | Some path ->
+        let baseline = Report.load path in
+        let result =
+          Report.check ~tolerance_pct:tolerance ~baseline ~current:report
+        in
+        Report.print_check result;
+        Report.check_ok result
+    in
+    if all_ok && check_passed then 0 else 1
+  in
+  let run_grid ~seed ~trials ~jobs ~ns ~json =
+    let table, cells =
+      Experiments.E25_scale.run_detailed ~seed ?trials ?jobs ~ns ()
+    in
+    Experiments.Table.print table;
+    Option.iter
+      (fun path ->
+        let path = Report.artifact_path ~prefix:"SCALE" path in
+        Report.save_json path (Experiments.E25_scale.to_json cells);
+        Printf.printf "scale grid artifact written to %s\n" path)
+      json;
+    if Experiments.Table.ok table then 0 else 1
+  in
+  let run seed trials jobs ns json bench repeats check tolerance =
+    setup_logs ();
+    if ns = [] || List.exists (fun n -> n < 1) ns then begin
+      Printf.eprintf "--ns needs at least one positive size\n";
+      2
+    end
+    else if bench then run_bench ~seed ~ns ~repeats ~json ~check ~tolerance
+    else run_grid ~seed ~trials ~jobs ~ns ~json
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Run the E25 large-n scaling grid on the wide Pset — one-round \
+          k-set agreement, heartbeat convergence and Chandra-Toueg \
+          consensus at sizes far beyond the one-word 62-process cap — as \
+          a deterministic correctness campaign (--json artifact, \
+          -j-independent) or a throughput measurement gated against a \
+          saved baseline (--bench --check).")
+    Term.(
+      const run $ seed_arg $ trials_arg $ jobs_arg $ ns_arg $ json_arg
+      $ bench_arg $ repeats_arg $ check_arg $ tolerance_arg)
+
 let main =
   let doc =
     "Reproduce the results of Gafni's 'Round-by-Round Fault Detectors' \
@@ -904,6 +1042,6 @@ let main =
   Cmd.group
     (Cmd.info "rrfd-experiments" ~version:"1.0.0" ~doc)
     [ list_cmd; run_cmd; all_cmd; lattice_cmd; trace_cmd; check_cmd;
-      faultnet_cmd; xsub_cmd; live_cmd ]
+      faultnet_cmd; xsub_cmd; live_cmd; scale_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -10,11 +10,12 @@ type 'out outcome = {
 let validate_round n sets =
   if Array.length sets <> n then
     invalid_arg "Engine: detector returned wrong number of fault sets";
+  let universe = Pset.full n in
   Array.iter
     (fun s ->
-      if not (Pset.subset s (Pset.full n)) then
+      if not (Pset.subset s universe) then
         invalid_arg "Engine: detector named a process outside the system";
-      if Pset.equal s (Pset.full n) then
+      if Pset.equal s universe then
         invalid_arg "Engine: detector declared every process faulty (D = S)")
     sets
 

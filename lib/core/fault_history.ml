@@ -14,9 +14,10 @@ let rounds h = h.count
 
 let validate_round n d =
   if Array.length d <> n then invalid_arg "Fault_history: wrong array length";
+  let universe = Pset.full n in
   Array.iter
     (fun s ->
-      if not (Pset.subset s (Pset.full n)) then
+      if not (Pset.subset s universe) then
         invalid_arg "Fault_history: fault set mentions process out of range")
     d
 

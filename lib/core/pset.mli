@@ -1,14 +1,29 @@
 (** Immutable sets of process identifiers.
 
-    A set is a single-word bitset, so systems are limited to at most
-    {!max_universe} processes — ample for every experiment in the paper.  All
-    operations are O(1) or O(cardinality); sets compare structurally. *)
+    A set is a width-polymorphic bitset with two representations behind
+    this abstract type: ids below {!small_universe} live in a single
+    immediate-int word (allocation-free, the common case for the paper's
+    experiments), larger universes in a canonical multi-word array with
+    62 bits per word.  All set algebra is word-at-a-time — O(n/62), not
+    O(n) — and sets compare structurally under {!equal}/{!compare}. *)
 
 type t
 (** An immutable set of process identifiers in [\[0, max_universe)]. *)
 
 val max_universe : int
-(** The largest supported number of processes (62). *)
+(** Upper bound on process ids (2{^30}).  A sanity bound, not a
+    representation limit: wide sets grow by whole 62-bit words. *)
+
+val small_universe : int
+(** Ids below this bound (62) are stored in the one-word immediate-int
+    fast path; at or above it the set is promoted to the multi-word
+    representation. *)
+
+val is_small : t -> bool
+(** True iff the set is in the one-word representation, i.e. all its
+    elements are below {!small_universe}.  Representation introspection
+    for tests and diagnostics; the two representations are otherwise
+    indistinguishable. *)
 
 val empty : t
 
@@ -29,8 +44,11 @@ val add : Proc.t -> t -> t
 val remove : Proc.t -> t -> t
 
 val mem : Proc.t -> t -> bool
+(** @raise Invalid_argument if the id is out of [\[0, max_universe)],
+    like every other entry point. *)
 
 val cardinal : t -> int
+(** Constant-time per word (SWAR popcount). *)
 
 val is_empty : t -> bool
 
@@ -46,6 +64,8 @@ val subset : t -> t -> bool
 val equal : t -> t -> bool
 
 val compare : t -> t -> int
+(** A total order (small sets before wide ones, wide by width then
+    most-significant word); consistent with {!equal}. *)
 
 val disjoint : t -> t -> bool
 
@@ -60,14 +80,18 @@ val for_all : (Proc.t -> bool) -> t -> bool
 val exists : (Proc.t -> bool) -> t -> bool
 
 val filter : (Proc.t -> bool) -> t -> t
+(** Consults the predicate once per member in ascending order (seeded
+    callers rely on that consumption pattern). *)
 
 val min_elt : t -> Proc.t option
-(** The least identifier in the set, if any. *)
+(** The least identifier in the set, if any (constant-time ctz per
+    word). *)
 
 val max_elt : t -> Proc.t option
 
 val choose_nth : t -> int -> Proc.t
-(** [choose_nth s i] is the [i]-th smallest element.
+(** [choose_nth s i] is the [i]-th smallest element.  Skips whole words
+    by popcount.
     @raise Invalid_argument if [i < 0] or [i >= cardinal s]. *)
 
 val random_subset : Dsim.Rng.t -> t -> t

@@ -121,6 +121,12 @@ let all =
       title = "live-substrate heard-of predicate rates";
       run = wrap_campaign E23_live.run;
     };
+    (* E24 is reserved for the ROADMAP's Byzantine accountability item. *)
+    {
+      id = "E25";
+      title = "large-n scaling campaigns on the wide Pset";
+      run = wrap_campaign E25_scale.run;
+    };
   ]
 
 let find id =

@@ -14,10 +14,14 @@ type 'out result = {
    escapes [run]. *)
 exception Aborted
 
+(* One OCaml domain per process, and the runtime caps domains at ~128 —
+   a real bound of this substrate, independent of Pset's width. *)
+let max_processes = 127
+
 let run ?(patience = Patience.Wait_quorum) ~n ~f ~rounds ~algorithm () =
-  if n < 1 || n > Rrfd.Pset.max_universe then
+  if n < 1 || n > max_processes then
     invalid_arg
-      (Printf.sprintf "Live.run: n = %d outside 1..%d" n Rrfd.Pset.max_universe);
+      (Printf.sprintf "Live.run: n = %d outside 1..%d" n max_processes);
   if f < 0 || f >= n then
     invalid_arg (Printf.sprintf "Live.run: f = %d outside 0..n-1" f);
   if rounds < 0 then invalid_arg "Live.run: rounds < 0";

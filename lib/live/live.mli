@@ -30,6 +30,11 @@ module Patience = Patience
 module Mailbox = Mailbox
 (** The inter-domain channel, re-exported for tests and benchmarks. *)
 
+val max_processes : int
+(** Largest supported [n] (127): this substrate spawns one OCaml domain
+    per process and the runtime caps domains at ~128.  Simulated
+    substrates scale far wider — see {!Rrfd.Pset.max_universe}. *)
+
 type 'out result = {
   decisions : 'out option array;
       (** First decision per process ([None] if it never decided). *)
@@ -62,7 +67,7 @@ val run :
     {!Patience.Wait_quorum} with the given [f]) and collect the uniform
     observation.  Re-raises the first exception any process's algorithm
     raised, after every domain has been joined.
-    @raise Invalid_argument if [n] is outside {!Rrfd.Pset} range,
+    @raise Invalid_argument if [n] is outside [1..max_processes],
     [f < 0], [f ≥ n] or [rounds < 0]. *)
 
 val effective_jobs : ?jobs:int -> n_procs:int -> unit -> int

@@ -44,7 +44,8 @@ type result = {
 }
 
 let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?adversary
-    ?(max_phases = 64) ~n ~f ~inputs () =
+    ?(max_phases = 64) ?hb_interval ?hb_initial_timeout ?(horizon = 1000.0) ~n
+    ~f ~inputs () =
   if 2 * f >= n then invalid_arg "Ct_consensus.run: need 2f < n";
   if List.length crashes > f then
     invalid_arg "Ct_consensus.run: more crashes than f";
@@ -181,7 +182,7 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?adversary
     Some
       (Heartbeat.create ~sim ~n
          ~send_heartbeat:(fun ~from -> Network.broadcast (net ()) ~from ~self:false Heartbeat)
-         ());
+         ?interval:hb_interval ?initial_timeout:hb_initial_timeout ~horizon ());
   List.iter
     (fun (p, time) ->
       Dsim.Sim.schedule_at sim ~time (fun _ -> Network.crash (net ()) p))
@@ -193,7 +194,6 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?adversary
      heartbeats, so the simulation always drains even when a process
      (e.g. a crashed one) never decides. *)
   let poll_interval = 3.0 in
-  let horizon = 1000.0 in
   let rec poll i sim_ =
     let proc = procs.(i) in
     if proc.decided = None && proc.phase <= max_phases then begin

@@ -32,6 +32,9 @@ val run :
   ?crashes:(Rrfd.Proc.t * float) list ->
   ?adversary:Adversary.t ->
   ?max_phases:int ->
+  ?hb_interval:float ->
+  ?hb_initial_timeout:float ->
+  ?horizon:float ->
   n:int ->
   f:int ->
   inputs:int array ->
@@ -44,4 +47,11 @@ val run :
     phase through (e.g. a partition that heals).  [max_phases] (default
     64) bounds the run; live processes are expected to decide well before
     it.
+
+    [hb_interval] and [hb_initial_timeout] tune the embedded {!Heartbeat}
+    detector (defaults 5.0 / 12.0) and [horizon] (default 1000.0) bounds
+    both heartbeat traffic and suspicion polling.  The defaults reproduce
+    the historical behaviour; large-n scaling campaigns shorten the
+    horizon and stretch the interval because every beat is an n-way
+    broadcast — O(n² · horizon / interval) simulated deliveries.
     @raise Invalid_argument on parameter violations. *)

@@ -166,6 +166,32 @@ let surgery_remove_proc () =
     (Invalid_argument "Fault_history.remove_proc: need n > 1") (fun () ->
       ignore (H.remove_proc (H.empty ~n:1) ~proc:0))
 
+(* The same surgery ops on a wide universe (n = 70 crosses the Pset
+   word boundary, so every per-round set is multi-word). *)
+let surgery_wide () =
+  let n = 70 in
+  let faulty = s [ 61; 62; 63; 69 ] in
+  let round = Array.init n (fun p -> if p = 69 then Pset.empty else faulty) in
+  let h = H.of_rounds ~n [ round; round ] in
+  Alcotest.(check int) "n" n (H.n h);
+  Alcotest.(check Test_support.pset_t) "round union" faulty
+    (H.round_union h ~round:1);
+  let h' = H.update h ~round:2 ~proc:0 (s [ 65 ]) in
+  Alcotest.(check Test_support.pset_t) "updated slot" (s [ 65 ])
+    (H.d h' ~proc:0 ~round:2);
+  Alcotest.(check Test_support.pset_t) "cumulative union picks it up"
+    (Pset.add 65 faulty) (H.cumulative_union h');
+  Alcotest.(check history_t) "drop then truncate agree"
+    (H.drop_round h ~round:2) (H.truncate h ~rounds:1);
+  (* Removing p63 renumbers everything above it down by one. *)
+  let r = H.remove_proc h ~proc:63 in
+  Alcotest.(check int) "n after remove" (n - 1) (H.n r);
+  Alcotest.(check Test_support.pset_t) "sets renumber across the boundary"
+    (s [ 61; 62; 68 ])
+    (H.d r ~proc:0 ~round:1);
+  Alcotest.(check bool) "codec round-trips wide" true
+    (H.equal h (H.of_string_compact (H.to_string_compact h)))
+
 let compact_roundtrip =
   QCheck.Test.make ~name:"to_string_compact/of_string_compact round-trip"
     ~count:500
@@ -202,5 +228,6 @@ let tests =
     Alcotest.test_case "surgery: drop_round" `Quick surgery_drop_round;
     Alcotest.test_case "surgery: truncate" `Quick surgery_truncate;
     Alcotest.test_case "surgery: remove_proc" `Quick surgery_remove_proc;
+    Alcotest.test_case "surgery: wide universe" `Quick surgery_wide;
   ]
   @ List.map QCheck_alcotest.to_alcotest [ compact_roundtrip ]
