@@ -7,6 +7,7 @@
    `rrfd-experiments xsub`            cross-substrate differential matrix
    `rrfd-experiments live`            real domains + live heard-of replay
    `rrfd-experiments scale`           large-n grid / throughput gate
+   `rrfd-experiments byz`             Byzantine fork accountability (E24)
    options: --seed, --trials, -j/--jobs *)
 
 (* The raw OS monotonic clock, for the scale throughput measurements. *)
@@ -1034,6 +1035,286 @@ let scale_cmd =
       const run $ seed_arg $ trials_arg $ jobs_arg $ ns_arg $ json_arg
       $ bench_arg $ repeats_arg $ check_arg $ tolerance_arg)
 
+(* `byz` — the E24 Byzantine accountability battery: a single forked
+   execution with its audit transcript, the full grid, the soundness
+   fuzzer, the proof-grade exhaustive enumeration, and e24-byz artifact
+   save/replay.  The --grid --json artifact depends only on --seed and
+   --trials — never on -j — which is what the byz smoke gate compares
+   byte-for-byte. *)
+let byz_cmd =
+  let module Acc = Msgnet.Accountability in
+  let module Byz = Check.Byz_check in
+  let n_arg = Arg.(value & opt int 4 & info [ "n" ] ~doc:"System size.") in
+  let f_arg =
+    Arg.(value & opt int 1 & info [ "f" ] ~doc:"Audit resilience bound.")
+  in
+  let byz_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "byz" ] ~doc:"Byzantine member count (processes 0..byz-1).")
+  in
+  let forge_arg =
+    Arg.(
+      value & flag
+      & info [ "forge" ]
+          ~doc:"Let fuzzed members fabricate phantom-quorum certificates.")
+  in
+  let grid_arg =
+    let doc = "Run the full E24 grid instead of the single-fork demo." in
+    Arg.(value & flag & info [ "grid" ] ~doc)
+  in
+  let json_arg =
+    let doc =
+      "With $(b,--grid): also write the table and per-row digests to \
+       $(docv) as compact JSON ($(b,auto) names the file \
+       BYZ_<git-sha>.json).  The output depends only on --seed and \
+       --trials — never on -j — which is what the byz smoke gate \
+       compares."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let fuzz_arg =
+    let doc =
+      "Fuzz soundness over $(docv) random lying plans: the audit must \
+       never accuse an honest process, and every fork must convict \
+       ≥ f+1."
+    in
+    Arg.(value & opt (some int) None & info [ "fuzz" ] ~docv:"TRIALS" ~doc)
+  in
+  let exhaustive_arg =
+    let doc =
+      "Enumerate the entire per-receiver vote-strategy space (16² = 256 \
+       combinations at the n=4 defaults) under --exhaustive-seeds delay \
+       schedules each: a finite completeness proof, not a sample."
+    in
+    Arg.(value & flag & info [ "exhaustive" ] ~doc)
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "exhaustive-seeds" ] ~docv:"K"
+          ~doc:"Delay schedules per enumerated strategy combination.")
+  in
+  let save_arg =
+    let doc =
+      "With the single-fork demo: save the witness and its expected \
+       outcome as a replayable e24-byz JSON artifact at $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Replay an e24-byz artifact and verify the pinned fork flag and \
+       accused set reproduce (exit 0 iff they do)."
+    in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let pp_verdict ppf = function
+    | Acc.Accountable -> Format.fprintf ppf "accountable"
+    | Acc.Unsound honest ->
+      Format.fprintf ppf "UNSOUND (honest %s accused)"
+        (Rrfd.Pset.to_string honest)
+    | Acc.Incomplete { accused; needed } ->
+      Format.fprintf ppf "INCOMPLETE (%d accused, %d needed)"
+        (Rrfd.Pset.cardinal accused) needed
+  in
+  let print_outcome ~f (o : Acc.outcome) =
+    Array.iteri
+      (fun i d ->
+        match d with
+        | None -> Printf.printf "  p%d: no decision\n" i
+        | Some (v, q) ->
+          Printf.printf "  p%d: decided %d on quorum %s\n" i v
+            (Rrfd.Pset.to_string q))
+      o.Acc.decisions;
+    (match o.Acc.fork with
+    | None -> Printf.printf "  no fork among honest deciders\n"
+    | Some (p, q) ->
+      Printf.printf "  FORK: honest p%d and p%d decided differently\n" p q);
+    Printf.printf "  audit over %d signed sends (%d tampered):\n"
+      (List.length o.Acc.log) o.Acc.messages_tampered;
+    List.iter
+      (fun a -> Format.printf "    %a@." Acc.pp_accusation a)
+      o.Acc.accusations;
+    Format.printf "  verdict: %a@." pp_verdict (Acc.check ~f o)
+  in
+  let run_demo ~seed ~n ~f ~byz ~forge ~save =
+    (* Walk derived seeds until the split-brain plan actually forks —
+       deterministic in --seed, and each attempt is a legitimate
+       execution of the same lying strategy under a fresh schedule. *)
+    let inputs = Byz.binary_inputs n in
+    let strategies = Array.make n None in
+    for i = 0 to byz - 1 do
+      let cert =
+        if forge then Some (0, Rrfd.Pset.of_list (List.init (n - f) Fun.id))
+        else None
+      in
+      strategies.(i) <- Some { Acc.votes = Array.copy inputs; cert }
+    done;
+    let witness_at k =
+      { Byz.n; f; seed = Dsim.Rng.derive_seed seed k; inputs; strategies }
+    in
+    let attempts = 200 in
+    let rec hunt k =
+      if k >= attempts then None
+      else
+        let w = witness_at k in
+        if Byz.forks w then Some (k, w) else hunt (k + 1)
+    in
+    Printf.printf
+      "byz: split-brain plan, n=%d f=%d byz=%d%s (every member echoes \
+       each receiver's own input)\n"
+      n f byz
+      (if forge then " + forged certs" else "");
+    match hunt 0 with
+    | None ->
+      Printf.printf
+        "  no fork in %d delay schedules — below the n/3 threshold this \
+         is the theorem, above it try another --seed\n"
+        attempts;
+      if 3 * byz > n then 1 else 0
+    | Some (k, w) ->
+      let outcome = Byz.run_witness w in
+      Printf.printf "  fork found at schedule %d (seed %d):\n" k w.Byz.seed;
+      print_outcome ~f outcome;
+      Option.iter
+        (fun path ->
+          Byz.save path (Byz.of_outcome w outcome);
+          Printf.printf "  artifact written to %s\n" path)
+        save;
+      if Acc.check ~f outcome = Acc.Accountable then 0 else 1
+  in
+  let run_grid ~seed ~trials ~jobs ~json =
+    let table, digests =
+      Experiments.E24_byzantine.run_detailed ~seed ?trials ?jobs ()
+    in
+    Experiments.Table.print table;
+    Option.iter
+      (fun path ->
+        let str s = Report.Json.String s in
+        let num i = Report.Json.Number (float_of_int i) in
+        let digest_json (d : Experiments.E24_byzantine.row_digest) =
+          Report.Json.Obj
+            [
+              ("spec", str d.spec);
+              ("trials", num d.trials);
+              ("vote_forks", num d.vote_forks);
+              ( "min_accused_on_fork",
+                match d.min_accused_on_fork with
+                | None -> Report.Json.Null
+                | Some m -> num m );
+              ("vote_sound_all", Report.Json.Bool d.vote_sound_all);
+              ("vote_complete_all", Report.Json.Bool d.vote_complete_all);
+              ("lied_sound_all", Report.Json.Bool d.lied_sound_all);
+              ("kernel_all", Report.Json.Bool d.kernel_all);
+              ("tampered_total", num d.tampered_total);
+              ("ct_violations", num d.ct_violations);
+              ("ct_sound_all", Report.Json.Bool d.ct_sound_all);
+              ("ct_undecided_total", num d.ct_undecided_total);
+            ]
+        in
+        let j =
+          Report.Json.Obj
+            [
+              ("id", str table.Experiments.Table.id);
+              ("seed", num seed);
+              ( "header",
+                Report.Json.List
+                  (List.map str table.Experiments.Table.header) );
+              ( "rows",
+                Report.Json.List
+                  (List.map
+                     (fun row -> Report.Json.List (List.map str row))
+                     table.Experiments.Table.rows) );
+              ("ok", Report.Json.Bool (Experiments.Table.ok table));
+              ("digests", Report.Json.List (List.map digest_json digests));
+            ]
+        in
+        let path = Report.artifact_path ~prefix:"BYZ" path in
+        Report.save_json path j;
+        Printf.printf "grid artifact written to %s\n" path)
+      json;
+    if Experiments.Table.ok table then 0 else 1
+  in
+  let run_fuzz ~seed ~jobs ~n ~f ~byz ~forge ~trials =
+    let r = Byz.fuzz ?jobs ~n ~f ~byz ~forge ~seed ~trials () in
+    Printf.printf
+      "byz fuzz: %d trials (n=%d f=%d byz=%d%s) — %d forked, %d sends \
+       tampered, %d violations\n"
+      r.Byz.trials n f byz
+      (if forge then " forge" else "")
+      r.Byz.forked r.Byz.tampered r.Byz.violations;
+    (match r.Byz.first_violation with
+    | None -> ()
+    | Some (idx, w, v) ->
+      Format.printf "  first violation at trial %d: %a@." idx pp_verdict v;
+      let path = Printf.sprintf "BYZ_violation_%d.json" idx in
+      Byz.save path (Byz.of_outcome w (Byz.run_witness w));
+      Printf.printf "  witness saved to %s\n" path);
+    if r.Byz.violations = 0 then 0 else 1
+  in
+  let run_exhaustive ~seed ~jobs ~seeds ~n ~f ~byz =
+    let r = Byz.exhaustive ?jobs ~seeds ~n ~f ~byz ~seed () in
+    Printf.printf
+      "byz exhaustive: %d strategy combinations × %d schedules = %d runs \
+       (n=%d f=%d byz=%d)\n"
+      r.Byz.combos seeds r.Byz.runs n f byz;
+    Printf.printf "  forked: %d   min accused on fork: %s   violations: %d\n"
+      r.Byz.forked
+      (match r.Byz.min_accused_on_fork with
+      | None -> "-"
+      | Some m -> string_of_int m)
+      r.Byz.violations;
+    let complete =
+      r.Byz.violations = 0 && r.Byz.forked > 0
+      && match r.Byz.min_accused_on_fork with
+         | Some m -> m >= f + 1
+         | None -> false
+    in
+    Printf.printf
+      (if complete then
+         "  completeness proved: every fork in the space convicts ≥ f+1 = \
+          %d, soundly\n"
+       else "  completeness NOT established (f+1 = %d)\n")
+      (f + 1);
+    if complete then 0 else 1
+  in
+  let run_replay path =
+    let artifact = Byz.load path in
+    let r = Byz.replay artifact in
+    Printf.printf "byz replay: %s\n" path;
+    print_outcome ~f:artifact.Byz.witness.Byz.f r.Byz.outcome;
+    Printf.printf "  fork %s, accused set %s\n"
+      (if r.Byz.fork_match then "reproduced" else "DIVERGED")
+      (if r.Byz.accused_match then "reproduced" else "DIVERGED");
+    if Byz.reproduced r then 0 else 1
+  in
+  let run seed trials jobs n f byz forge grid json fuzz exhaustive seeds save
+      replay =
+    setup_logs ();
+    match replay with
+    | Some path -> run_replay path
+    | None ->
+      if grid then run_grid ~seed ~trials ~jobs ~json
+      else if exhaustive then run_exhaustive ~seed ~jobs ~seeds ~n ~f ~byz
+      else
+        match fuzz with
+        | Some trials -> run_fuzz ~seed ~jobs ~n ~f ~byz ~forge ~trials
+        | None -> run_demo ~seed ~n ~f ~byz ~forge ~save
+  in
+  Cmd.v
+    (Cmd.info "byz"
+       ~doc:
+         "Byzantine round-machines with fork accountability (E24): fork \
+          the accountable quorum vote with equivocating members, replay \
+          the signed send log into ≥ f+1 convictions, fuzz the audit's \
+          soundness, prove its completeness exhaustively, and save or \
+          replay e24-byz witnesses.")
+    Term.(
+      const run $ seed_arg $ trials_arg $ jobs_arg $ n_arg $ f_arg $ byz_arg
+      $ forge_arg $ grid_arg $ json_arg $ fuzz_arg $ exhaustive_arg
+      $ seeds_arg $ save_arg $ replay_arg)
+
 let main =
   let doc =
     "Reproduce the results of Gafni's 'Round-by-Round Fault Detectors' \
@@ -1042,6 +1323,6 @@ let main =
   Cmd.group
     (Cmd.info "rrfd-experiments" ~version:"1.0.0" ~doc)
     [ list_cmd; run_cmd; all_cmd; lattice_cmd; trace_cmd; check_cmd;
-      faultnet_cmd; xsub_cmd; live_cmd; scale_cmd ]
+      faultnet_cmd; xsub_cmd; live_cmd; scale_cmd; byz_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -27,7 +27,8 @@ let param params key ~default =
 let predicate_names =
   "true, no-self, not-all-faulty, crash-closure, someone-seen, antisym, \
    omission:f=_, crash:f=_, async:f=_, async-mixed:f=_,t=_, shm:f=_, \
-   shm-alt:f=_, snapshot:f=_, kset:k=_, eq5, detector-s"
+   shm-alt:f=_, snapshot:f=_, kset:k=_, eq5, detector-s, byz-round:f=_, \
+   honest-kernel:k=_"
 
 let predicate spec =
   Result.bind (parse spec) (fun (name, params) ->
@@ -51,6 +52,10 @@ let predicate spec =
       | "kset" -> Ok (Rrfd.Predicate.k_set ~k)
       | "eq5" | "identical" -> Ok Rrfd.Predicate.identical_views
       | "detector-s" | "dets" -> Ok Rrfd.Predicate.detector_s
+      (* Byzantine-aware (E24): judge the fused silent∪lied history from
+         Heard_of.to_byz_history rather than a plain heard-of complement. *)
+      | "byz-round" -> Ok (Rrfd.Predicate.byzantine_round_bound ~f)
+      | "honest-kernel" -> Ok (Rrfd.Predicate.eventual_honest_kernel ~k)
       | _ ->
         Error
           (Printf.sprintf "unknown predicate %S; choose from: %s" spec

@@ -11,8 +11,13 @@ val predicate : string -> (Rrfd.Predicate.t, string) result
 (** Named predicates: [true], [no-self], [not-all-faulty], [crash-closure],
     [someone-seen], [antisym], [omission:f=_], [crash:f=_], [async:f=_],
     [async-mixed:f=_,t=_], [shm:f=_], [shm-alt:f=_], [snapshot:f=_],
-    [kset:k=_], [eq5], [detector-s].  [f] defaults to 1, [k] to 2, [t] to
-    2.  [Error] names the unknown spec and lists the vocabulary. *)
+    [kset:k=_], [eq5], [detector-s], and the Byzantine-aware pair
+    [byz-round:f=_] ({!Rrfd.Predicate.byzantine_round_bound}) and
+    [honest-kernel:k=_] ({!Rrfd.Predicate.eventual_honest_kernel}), meant
+    for fused silent∪lied histories
+    ({!Msgnet.Heard_of.to_byz_history}).  [f] defaults to 1, [k] to 2,
+    [t] to 2.  [Error] names the unknown spec and lists the
+    vocabulary. *)
 
 val generator :
   string ->

@@ -62,6 +62,21 @@ let cumulative_union_upto h ~round =
 let of_rounds ~n l =
   List.fold_left append (empty ~n) l
 
+(* Pointwise union, padding the shorter history with empty rounds: the
+   combined view "process j was bad toward i in round r in either
+   history".  The Byzantine extraction uses this to fuse the silent
+   history (messages that never arrived) with the lie history (messages
+   that arrived with tampered content) into one D(i,r) family. *)
+let union a b =
+  if a.n <> b.n then invalid_arg "Fault_history.union: process counts differ";
+  let rounds = max a.count b.count in
+  let row h r =
+    if r <= h.count then nth_round h r else Array.make h.n Pset.empty
+  in
+  of_rounds ~n:a.n
+    (List.init rounds (fun i ->
+         Array.map2 Pset.union (row a (i + 1)) (row b (i + 1))))
+
 (* Rounds first-round-first, as fresh arrays — the raw material every
    surgery operation below rebuilds from (through [of_rounds], so each
    result is re-validated). *)

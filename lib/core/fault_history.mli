@@ -56,6 +56,13 @@ val of_rounds : n:int -> Pset.t array list -> t
 (** [of_rounds ~n l] builds a history from explicit per-round arrays, first
     round first.  Same validity requirements as {!append}. *)
 
+val union : t -> t -> t
+(** Pointwise union: [D(i,r)] of the result is the union of the two
+    arguments' sets, with the shorter history padded by empty rounds.
+    The Byzantine heard-of extraction uses this to fuse "silent toward i"
+    and "lied to i" records into a single fault-history view.
+    @raise Invalid_argument if the process counts differ. *)
+
 (** {1 Surgery}
 
     Point edits used by the schedule-space shrinker ({!Check.Shrink}): each

@@ -256,6 +256,63 @@ let identical_views =
         (fun _ r i ->
           Printf.sprintf "round %d: D(%d) differs from D(0)" r i))
 
+let byzantine_round_bound ~f =
+  make
+    ~name:(Printf.sprintf "byz-round(f=%d)" f)
+    ~doc:
+      (Printf.sprintf
+         "∀r. |⋃_i D(i,r)| ≤ %d — at most %d distinct processes behave \
+          badly (silently or by lying) in any single round"
+         f f)
+    (fun h ->
+      first_round_violation h
+        (fun h r -> Pset.cardinal (Fault_history.round_union h ~round:r) > f)
+        (fun h r ->
+          Printf.sprintf "round %d: %d processes misbehave, want ≤ %d" r
+            (Pset.cardinal (Fault_history.round_union h ~round:r))
+            f))
+
+(* A finite history can only witness "eventually" on a suffix, and the
+   suffix union is monotone in its start round, so the weakest nonempty
+   witness is the final round alone: the predicate holds iff the last
+   round leaves at least [k] processes unsuspected.  [explain] still
+   hunts for the earliest suffix that works, which is the useful
+   diagnostic when the kernel exists. *)
+let eventual_honest_kernel ~k =
+  make
+    ~name:(Printf.sprintf "honest-kernel(k=%d)" k)
+    ~doc:
+      (Printf.sprintf
+         "∃r₀. |⋃_{r≥r₀} ⋃_i D(i,r)| ≤ n − %d — from some round on, a \
+          kernel of ≥ %d processes is never suspected or lied about"
+         k k)
+    (fun h ->
+      let n = Fault_history.n h in
+      let rounds = Fault_history.rounds h in
+      if rounds = 0 then None
+      else
+        let last = Fault_history.round_union h ~round:rounds in
+        if n - Pset.cardinal last >= k then None
+        else
+          Some
+            (Printf.sprintf
+               "final round still has only %d clean processes, want ≥ %d"
+               (n - Pset.cardinal last)
+               k))
+
+let honest_kernel_start ~k h =
+  let n = Fault_history.n h in
+  let rounds = Fault_history.rounds h in
+  let rec scan r0 union =
+    if r0 < 1 then Some 1
+    else
+      let union = Pset.union union (Fault_history.round_union h ~round:r0) in
+      if n - Pset.cardinal union >= k then
+        match scan (r0 - 1) union with Some r -> Some r | None -> Some r0
+      else None
+  in
+  if rounds = 0 then None else scan rounds Pset.empty
+
 let not_all_faulty =
   make ~name:"not-all-faulty" ~doc:"∀i,r. D(i,r) ≠ S"
     (fun h ->

@@ -99,6 +99,28 @@ val identical_views : t
 (** Equation (5), Sec. 5: [∀ r, i, j. D(i,r) = D(j,r)].  Implies
     [k_set ~k:1]. *)
 
+val byzantine_round_bound : f:int -> t
+(** Byzantine-aware variant for E24: [∀ r. |⋃_i D(i,r)| ≤ f].  Applied to
+    the fused silent∪lied history ({!Fault_history.union}) this says at
+    most [f] distinct processes misbehave — stay silent toward someone or
+    lie to someone — in any single round.  RRFDs only report suspicion
+    sets, so the same predicate machinery covers "lied" exactly as it
+    covers "late"; this is the per-round budget the accountability
+    construction assumes of the honest majority. *)
+
+val eventual_honest_kernel : k:int -> t
+(** Byzantine-aware variant for E24:
+    [∃ r₀. |⋃_{r≥r₀} ⋃_i D(i,r)| ≤ n − k] — from some round on, a kernel
+    of at least [k] processes is never suspected or lied about.  On a
+    finite prefix the suffix union is monotone in its start round, so
+    this holds iff the final round leaves [k] processes clean;
+    {!honest_kernel_start} reports the earliest such suffix. *)
+
+val honest_kernel_start : k:int -> Fault_history.t -> int option
+(** The earliest round [r₀] witnessing {!eventual_honest_kernel} — the
+    diagnostic behind the predicate — or [None] if no suffix (or an empty
+    history) qualifies. *)
+
 val not_all_faulty : t
 (** Sanity property noted in Sec. 1: [D(i,r) ≠ S] (not every process can be
     late).  Holds automatically under most named predicates; exposed for the

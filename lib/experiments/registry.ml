@@ -121,7 +121,11 @@ let all =
       title = "live-substrate heard-of predicate rates";
       run = wrap_campaign E23_live.run;
     };
-    (* E24 is reserved for the ROADMAP's Byzantine accountability item. *)
+    {
+      id = "E24";
+      title = "Byzantine round-machines and fork accountability";
+      run = wrap_campaign E24_byzantine.run;
+    };
     {
       id = "E25";
       title = "large-n scaling campaigns on the wide Pset";

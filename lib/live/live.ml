@@ -137,7 +137,7 @@ let run ?(patience = Patience.Wait_quorum) ~n ~f ~rounds ~algorithm () =
   let record = Msgnet.Heard_of.create ~n in
   for i = 0 to n - 1 do
     List.iteri
-      (fun k heard -> Msgnet.Heard_of.note record i ~round:(k + 1) ~heard)
+      (fun k heard -> Msgnet.Heard_of.note record i ~round:(k + 1) ~heard ())
       (List.rev heard_logs.(i))
   done;
   let induced = Msgnet.Heard_of.to_history record in

@@ -7,12 +7,15 @@
 
 type blocks = Split_at of int | Blocks of Rrfd.Pset.t list
 
+type byz_behaviour = { equivocate : bool; corrupt : bool; forge : bool }
+
 type atom =
   | Drop of { p : float }
   | Duplicate of { p : float; copies : int }
   | Spike of { p : float; factor : float }
   | Reorder of { p : float; window : float }
   | Partition of { at : float; heal : float; blocks : blocks }
+  | Byz of { members : Rrfd.Pset.t; behaviour : byz_behaviour }
 
 type t = { spec : string; atoms : atom list }
 
@@ -24,7 +27,8 @@ let spec t = t.spec
 
 let spec_names =
   "none, drop:p=<pct>, dup:p=<pct>,copies=<k>, spike:p=<pct>,factor=<x>, "
-  ^ "reorder:p=<pct>,window=<w>, partition:at=<t0>,heal=<t1>,left=<k>"
+  ^ "reorder:p=<pct>,window=<w>, partition:at=<t0>,heal=<t1>,left=<k>, "
+  ^ "byz:m=<k>,equiv=<0|1>,corrupt=<0|1>,forge=<0|1>"
 
 (* [name:k1=v1,k2=v2] with small non-negative integer values; probabilities
    are percentages so spec strings stay integer-only like Check.Spec's. *)
@@ -96,6 +100,27 @@ let parse_atom s =
         Error
           (Printf.sprintf "adversary %s: heal=%g must exceed at=%g" name heal at)
       else Ok (Some (Partition { at; heal; blocks = Split_at left }))
+  | "byz" ->
+      (* Byzantine membership follows the same deterministic low-id
+         convention as partition's [left=k]: processes 0..m-1 misbehave.
+         [m=0] is the explicit "nobody is Byzantine" row of a grid. *)
+      let* () = known [ "m"; "equiv"; "corrupt"; "forge" ] in
+      let m = param "m" 1 in
+      let flag key default = param key default <> 0 in
+      let behaviour =
+        {
+          equivocate = flag "equiv" 1;
+          corrupt = flag "corrupt" 0;
+          forge = flag "forge" 0;
+        }
+      in
+      let members =
+        List.fold_left
+          (fun acc p -> Rrfd.Pset.add p acc)
+          Rrfd.Pset.empty
+          (List.init m (fun p -> p))
+      in
+      Ok (Some (Byz { members; behaviour }))
   | _ ->
       Error
         (Printf.sprintf "unknown adversary %S (expected one of: %s)" name
@@ -134,9 +159,36 @@ let partitioned t ~now ~from ~to_ =
       | _ -> false)
     t.atoms
 
+let byzantine t ~n =
+  List.fold_left
+    (fun acc -> function
+      | Byz { members; _ } -> Rrfd.Pset.union acc members
+      | _ -> acc)
+    Rrfd.Pset.empty t.atoms
+  |> Rrfd.Pset.inter (Rrfd.Pset.full n)
+
+let byz_behaviour t p =
+  List.fold_left
+    (fun acc atom ->
+      match atom with
+      | Byz { members; behaviour } when Rrfd.Pset.mem p members -> (
+          match acc with
+          | None -> Some behaviour
+          | Some b ->
+              Some
+                {
+                  equivocate = b.equivocate || behaviour.equivocate;
+                  corrupt = b.corrupt || behaviour.corrupt;
+                  forge = b.forge || behaviour.forge;
+                })
+      | _ -> acc)
+    None t.atoms
+
 (* Atoms consume the rng in list order; every branch draws the same
    number of variates whatever the earlier outcomes, except drops, which
-   short-circuit the whole plan (also deterministically). *)
+   short-circuit the whole plan (also deterministically).  [Byz] atoms
+   never touch the delay plan — lying is about content, not timing — so
+   adding one leaves the benign delay stream bit-identical. *)
 let plan t rng ~now ~from ~to_ ~delay ~redraw =
   if partitioned t ~now ~from ~to_ then []
   else if
@@ -154,7 +206,7 @@ let plan t rng ~now ~from ~to_ ~delay ~redraw =
           | Reorder { p; window } ->
               let jitter = Dsim.Rng.float rng window in
               if Dsim.Rng.float rng 1.0 < p then d +. jitter else d
-          | Drop _ | Duplicate _ | Partition _ -> d)
+          | Drop _ | Duplicate _ | Partition _ | Byz _ -> d)
         delay t.atoms
     in
     let extras =

@@ -25,6 +25,13 @@ type blocks =
   | Blocks of Rrfd.Pset.t list
       (** Explicit disjoint blocks; processes in no block are unaffected. *)
 
+type byz_behaviour = { equivocate : bool; corrupt : bool; forge : bool }
+(** What a Byzantine process is allowed to do to its outgoing traffic:
+    [equivocate] — send different round-[r] payloads to different
+    receivers; [corrupt] — replace the payload it should have sent;
+    [forge] — inject round-[r] messages it was never asked to send.
+    Flags compose; all three lie about {e content}, never timing. *)
+
 type atom =
   | Drop of { p : float }  (** Lose the message with probability [p]. *)
   | Duplicate of { p : float; copies : int }
@@ -38,6 +45,13 @@ type atom =
   | Partition of { at : float; heal : float; blocks : blocks }
       (** Messages crossing block boundaries are cut while
           [at <= now < heal]. *)
+  | Byz of { members : Rrfd.Pset.t; behaviour : byz_behaviour }
+      (** The processes in [members] lie per [behaviour].  Unlike every
+          other atom this one never consumes the rng stream nor touches
+          the delay plan — content tampering is applied by the transport
+          ({!Network}'s [tamper] hook), keyed off {!byz_behaviour} — so
+          adding a [Byz] atom leaves the benign delay schedule of a run
+          bit-identical. *)
 
 type t
 (** A policy: an atom list plus the spec string that names it. *)
@@ -70,6 +84,10 @@ val of_spec : string -> (t, string) result
     - [reorder:p=25,window=10] — with probability 0.25 add jitter < 10
     - [partition:at=5,heal=50,left=2] — cut [{0..1}] from the rest during
       virtual time [\[5, 50)]
+    - [byz:m=2,equiv=1,corrupt=0,forge=0] — processes [{0..1}] are
+      Byzantine with the given behaviour flags (defaults:
+      [equiv=1,corrupt=0,forge=0]); [m=0] spells the "nobody is
+      Byzantine" grid row
 
     [Error] names the unknown atom and lists this vocabulary. *)
 
@@ -78,6 +96,16 @@ val spec_names : string
 
 val partitioned : t -> now:float -> from:Rrfd.Proc.t -> to_:Rrfd.Proc.t -> bool
 (** Whether some partition atom currently cuts the [from → to_] link. *)
+
+val byzantine : t -> n:int -> Rrfd.Pset.t
+(** Union of all [Byz] atoms' members, clipped to the [n]-process
+    universe — the ground-truth corrupted set a soundness check compares
+    accusations against. *)
+
+val byz_behaviour : t -> Rrfd.Proc.t -> byz_behaviour option
+(** [byz_behaviour t p] is [Some b] iff some [Byz] atom contains [p];
+    behaviours of multiple atoms naming [p] are OR-merged.  [None] means
+    [p] is honest and its messages must never be tampered with. *)
 
 val plan :
   t ->

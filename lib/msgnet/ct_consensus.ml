@@ -40,8 +40,25 @@ type result = {
   phases_used : int;
   false_suspicions : int;
   messages_sent : int;
+  messages_tampered : int;
+  accused : Pset.t;
   virtual_time : float;
 }
+
+(* Post-hoc equivocation audit of the signed log.  Keys are the message
+   classes an honest process provably sends at most one payload for:
+   its phase-[p] estimate (est/ts frozen while waiting in [p], so
+   retransmissions are byte-identical) and its phase-[p] proposal
+   (fixed at [proposed <- true], repeated verbatim to stragglers).
+   Heartbeats repeat by design; Ack/Nack carry no value; and Decide is
+   deliberately exempt — an honest process relays whatever Decide value
+   reached it first, so under Byzantine tampering two honest Decide
+   payloads can genuinely differ without the sender having lied. *)
+let equivocation_key (e : message Network.signed) =
+  match e.Network.payload with
+  | Estimate { phase; _ } -> Some (0, phase)
+  | New_estimate { phase; _ } -> Some (1, phase)
+  | Heartbeat | Ack _ | Nack _ | Decide _ -> None
 
 let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?adversary
     ?(max_phases = 64) ?hb_interval ?hb_initial_timeout ?(horizon = 1000.0) ~n
@@ -52,6 +69,31 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?adversary
   if Array.length inputs <> n then
     invalid_arg "Ct_consensus.run: inputs length mismatch";
   let sim = Dsim.Sim.create ~seed () in
+  let adversary = Option.value adversary ~default:Adversary.none in
+  let byz = Pset.inter (Adversary.byzantine adversary ~n) (Pset.full n) in
+  (* Value-level lies for Byzantine members: nudge the estimate (with a
+     timestamp bump so it wins the coordinator's max-ts pick), the
+     proposal, or the announced decision.  [corrupt] lies on every copy,
+     [equivocate] flips a per-receiver coin from a dedicated stream —
+     the delay schedule never changes.  Unlike {!Accountability}'s
+     quorum-vote protocol, CT trusts Decide on receipt, so a single
+     corrupted Decide forks it: the E24 grid measures that violation
+     rate and checks the audit stays sound, not complete. *)
+  let byz_rng = Dsim.Rng.derive ~seed ~stream:0xB42 in
+  let tamper ~behaviour ~now:_ ~from:_ ~to_:_ msg =
+    let { Adversary.equivocate; corrupt; forge = _ } = behaviour in
+    let lie = corrupt || (equivocate && Dsim.Rng.bool byz_rng) in
+    if not lie then None
+    else
+      match msg with
+      | Estimate { phase; est; ts } ->
+          Some (Estimate { phase; est = est + 1; ts = ts + 1 })
+      | New_estimate { phase; est } -> Some (New_estimate { phase; est = est + 1 })
+      | Decide { value } -> Some (Decide { value = value + 1 })
+      | Heartbeat | Ack _ | Nack _ -> None
+  in
+  let tamper = if Pset.is_empty byz then None else Some tamper in
+  let log_sends = not (Pset.is_empty byz) in
   let procs =
     Array.init n (fun i ->
         {
@@ -176,8 +218,8 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?adversary
   in
   network :=
     Some
-      (Network.create ~sim ~n ?min_delay ?max_delay ?adversary ~deliver:handle
-         ());
+      (Network.create ~sim ~n ?min_delay ?max_delay ~adversary ?tamper
+         ~log_sends ~deliver:handle ());
   detector :=
     Some
       (Heartbeat.create ~sim ~n
@@ -229,11 +271,18 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?adversary
     Dsim.Sim.schedule sim ~delay:poll_interval (poll i)
   done;
   Dsim.Sim.run sim;
+  let accused =
+    Accountability.conflicting_sends ~key:equivocation_key
+      (Network.signed_log (net ()))
+    |> List.fold_left (fun acc (signer, _, _) -> Pset.add signer acc) Pset.empty
+  in
   {
     decisions = Array.map (fun p -> p.decided) procs;
     decision_times = Array.map (fun p -> p.decided_at) procs;
     phases_used = Array.fold_left (fun acc p -> max acc p.phase) 0 procs;
     false_suspicions = Heartbeat.false_suspicions (fd ());
     messages_sent = Network.messages_sent (net ());
+    messages_tampered = Network.messages_tampered (net ());
+    accused;
     virtual_time = Dsim.Sim.now sim;
   }

@@ -22,6 +22,20 @@ type result = {
   phases_used : int;  (** Highest phase any process entered. *)
   false_suspicions : int;
   messages_sent : int;
+  messages_tampered : int;
+      (** Sends whose content a Byzantine member replaced.  When the
+          adversary has [Byz] atoms, members lie about estimate,
+          proposal and decision values per their behaviour flags;
+          because CT trusts a Decide on receipt, a single corrupted
+          Decide can violate agreement — the E24 experiment measures
+          exactly that rate. *)
+  accused : Rrfd.Pset.t;
+      (** Post-hoc equivocation audit of the signed send log (only
+          byte-classes an honest process provably never varies —
+          per-phase estimates and proposals — are scanned, so
+          [accused ⊆ byzantine] unconditionally; see
+          {!Accountability.conflicting_sends}).  Empty when the
+          adversary has no Byzantine members. *)
   virtual_time : float;
 }
 

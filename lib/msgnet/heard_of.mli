@@ -19,12 +19,23 @@ val create : n:int -> t
 
 val n : t -> int
 
-val note : t -> Rrfd.Proc.t -> round:int -> heard:Rrfd.Pset.t -> unit
-(** [note t i ~round ~heard] records that [i] completed [round] having
+val note :
+  t -> Rrfd.Proc.t -> round:int -> ?lied:Rrfd.Pset.t -> heard:Rrfd.Pset.t ->
+  unit -> unit
+(** [note t i ~round ~heard ()] records that [i] completed [round] having
     heard the round-[round] messages of exactly [heard].  Rounds must be
-    noted in order: [round] must be [completed t i + 1].
-    @raise Invalid_argument otherwise, or if [heard] mentions a process
-    outside the system. *)
+    noted in order: [round] must be [completed t i + 1].  [lied] (default
+    empty) names the subset of [heard] whose content differed from the
+    sender's canonical round-[round] emission — "lied to [i]" as opposed
+    to "silent toward [i]", the distinction the Byzantine-aware
+    predicates need.
+    @raise Invalid_argument on out-of-order rounds, if [heard] mentions a
+    process outside the system, or if [lied ⊄ heard] (a lie is only
+    observable on a message that arrived). *)
+
+val lied : t -> proc:Rrfd.Proc.t -> round:int -> Rrfd.Pset.t option
+(** The recorded lied-to set, or [None] if [proc] never completed
+    [round]. *)
 
 val completed : t -> Rrfd.Proc.t -> int
 (** Number of rounds [i] has completed. *)
@@ -40,6 +51,20 @@ val to_history : t -> Rrfd.Fault_history.t
     heard-from set for rounds [i] completed, and [∅] for rounds it never
     reached (an unreached round constrains nothing — the process was
     merely slow, which the engine models as hearing everyone). *)
+
+val to_lie_history : t -> Rrfd.Fault_history.t
+(** The lie history: [D(i,r)] is the set of processes whose round-[r]
+    message reached [i] with non-canonical content, [∅] for unreached
+    rounds.  Disjointly complements {!to_history}: silence and lying are
+    different ways of being bad toward [i], and a crash never appears
+    here. *)
+
+val to_byz_history : t -> Rrfd.Fault_history.t
+(** {!Rrfd.Fault_history.union} of {!to_history} and {!to_lie_history} —
+    [D(i,r)] = "was bad toward [i] in round [r], silently or by lying".
+    This fused view is what the Byzantine-aware predicates
+    ({!Rrfd.Predicate.byzantine_round_bound},
+    {!Rrfd.Predicate.eventual_honest_kernel}) are meant to judge. *)
 
 val paper_predicates : f:int -> (string * Rrfd.Predicate.t) list
 (** The paper's ladder [P1–P5] with resilience [f]: omission, crash,

@@ -1,22 +1,43 @@
 module Pset = Rrfd.Pset
 
+type 'msg signed = {
+  seq : int;
+  signer : Rrfd.Proc.t;
+  receiver : Rrfd.Proc.t;
+  sent_at : float;
+  payload : 'msg;
+}
+
+type 'msg tamper =
+  behaviour:Adversary.byz_behaviour ->
+  now:float ->
+  from:Rrfd.Proc.t ->
+  to_:Rrfd.Proc.t ->
+  'msg ->
+  'msg option
+
 type 'msg t = {
   sim : Dsim.Sim.t;
   n : int;
   min_delay : float;
   max_delay : float;
   adversary : Adversary.t;
+  tamper : 'msg tamper option;
+  log_sends : bool;
   deliver : Dsim.Sim.t -> to_:Rrfd.Proc.t -> from:Rrfd.Proc.t -> 'msg -> unit;
   mutable crashed : Pset.t;
+  mutable log : 'msg signed list; (* newest first *)
+  mutable seq : int;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
   mutable duplicated : int;
+  mutable tampered : int;
   mutable lost_to_crash : int;
 }
 
 let create ~sim ~n ?(min_delay = 1.0) ?(max_delay = 10.0)
-    ?(adversary = Adversary.none) ~deliver () =
+    ?(adversary = Adversary.none) ?tamper ?(log_sends = false) ~deliver () =
   if n < 1 || n > Pset.max_universe then invalid_arg "Network.create: bad n";
   if min_delay < 0.0 || max_delay < min_delay then
     invalid_arg "Network.create: bad delay bounds";
@@ -26,12 +47,17 @@ let create ~sim ~n ?(min_delay = 1.0) ?(max_delay = 10.0)
     min_delay;
     max_delay;
     adversary;
+    tamper;
+    log_sends;
     deliver;
     crashed = Pset.empty;
+    log = [];
+    seq = 0;
     sent = 0;
     delivered = 0;
     dropped = 0;
     duplicated = 0;
+    tampered = 0;
     lost_to_crash = 0;
   }
 
@@ -49,12 +75,52 @@ let schedule_delivery t ~from ~to_ ~delay msg =
         t.deliver sim ~to_ ~from msg
       end)
 
+(* A signature here is an unforgeable stamp of the true origin: the
+   network records [signer = from] no matter what the payload claims, so
+   tampered content stays attributable.  Entries are appended at send
+   time, before the delay plan — a dropped copy was still emitted, and
+   its signature is exactly the evidence an accountability audit needs. *)
+let log_signed t ~from ~to_ msg =
+  if t.log_sends then begin
+    t.log <-
+      {
+        seq = t.seq;
+        signer = from;
+        receiver = to_;
+        sent_at = Dsim.Sim.now t.sim;
+        payload = msg;
+      }
+      :: t.log;
+    t.seq <- t.seq + 1
+  end
+
 let send t ~from ~to_ ?delay msg =
   if to_ < 0 || to_ >= t.n || from < 0 || from >= t.n then
     invalid_arg "Network.send: process out of range";
   if not (Pset.mem from t.crashed) then begin
     let delay = match delay with Some d -> d | None -> pick_delay t in
     t.sent <- t.sent + 1;
+    (* Byzantine senders lie about content before the wire sees the
+       message; the hook only ever fires for processes the adversary
+       marks Byzantine, so honest payloads are untouchable by
+       construction (lie-attribution soundness).  The hook closes over
+       its own rng stream, keeping the benign delay schedule
+       bit-identical whether or not anyone lies. *)
+    let msg =
+      if Rrfd.Proc.equal from to_ then msg
+      else
+        match (t.tamper, Adversary.byz_behaviour t.adversary from) with
+        | Some tamper, Some behaviour -> (
+            match
+              tamper ~behaviour ~now:(Dsim.Sim.now t.sim) ~from ~to_ msg
+            with
+            | Some forged ->
+                t.tampered <- t.tampered + 1;
+                forged
+            | None -> msg)
+        | _ -> msg
+    in
+    log_signed t ~from ~to_ msg;
     (* Loopback traffic never leaves the process, so the adversary cannot
        touch it — a process always hears itself. *)
     if Rrfd.Proc.equal from to_ || Adversary.is_noop t.adversary then
@@ -86,6 +152,8 @@ let crash t p =
   t.crashed <- Pset.add p t.crashed
 
 let crashed t = t.crashed
+let signed_log t = List.rev t.log
+let messages_tampered t = t.tampered
 let messages_sent t = t.sent
 let messages_delivered t = t.delivered
 let messages_dropped t = t.dropped

@@ -21,19 +21,54 @@
 type 'msg t
 (** A network carrying messages of type ['msg] between [n] processes. *)
 
+type 'msg signed = {
+  seq : int;  (** Global send order, from 0. *)
+  signer : Rrfd.Proc.t;
+      (** The {e true} origin, stamped by the transport — the model of an
+          unforgeable signature.  Whatever a tampered payload claims, the
+          evidence stays attributable to its sender. *)
+  receiver : Rrfd.Proc.t;
+  sent_at : float;  (** Virtual send time. *)
+  payload : 'msg;  (** Post-tamper content, exactly as the wire carried it. *)
+}
+(** One entry of the signed send log ({!signed_log}): the evidence unit
+    the accountability audit ({!Accountability}) replays. *)
+
+type 'msg tamper =
+  behaviour:Adversary.byz_behaviour ->
+  now:float ->
+  from:Rrfd.Proc.t ->
+  to_:Rrfd.Proc.t ->
+  'msg ->
+  'msg option
+(** Content-tampering hook, invoked once per non-loopback send whose
+    sender the adversary marks Byzantine ({!Adversary.byz_behaviour}).
+    [Some m'] replaces the payload on the wire (counted in
+    {!messages_tampered}); [None] lets the canonical payload through.
+    Honest senders never reach the hook, so any tampered message is
+    attributable by construction.  Hooks needing randomness must close
+    over their own {!Dsim.Rng} stream — the simulator's stream is
+    reserved for delays, which keeps benign schedules bit-identical
+    whether or not anyone lies. *)
+
 val create :
   sim:Dsim.Sim.t ->
   n:int ->
   ?min_delay:float ->
   ?max_delay:float ->
   ?adversary:Adversary.t ->
+  ?tamper:'msg tamper ->
+  ?log_sends:bool ->
   deliver:(Dsim.Sim.t -> to_:Rrfd.Proc.t -> from:Rrfd.Proc.t -> 'msg -> unit) ->
   unit ->
   'msg t
 (** [create ~sim ~n ~deliver ()] builds a network whose per-message delays
     are uniform in [\[min_delay, max_delay\]] (defaults 1.0 and 10.0);
     [deliver] is invoked at the receiver's delivery time.  [adversary]
-    (default {!Adversary.none}) is consulted for every non-loopback send. *)
+    (default {!Adversary.none}) is consulted for every non-loopback send.
+    [tamper] (default absent) lets Byzantine senders lie about content;
+    [log_sends] (default [false]) retains every send — loopback included,
+    post-tamper, true sender stamped — for {!signed_log}. *)
 
 val n : _ t -> int
 
@@ -53,6 +88,16 @@ val crash : 'msg t -> Rrfd.Proc.t -> unit
     counted in {!messages_lost_to_crash}. *)
 
 val crashed : 'msg t -> Rrfd.Pset.t
+
+val signed_log : 'msg t -> 'msg signed list
+(** Chronological (by [seq]) record of every send since creation, empty
+    unless [log_sends] was set.  Sends are logged whatever their delivery
+    fate — a dropped copy was still emitted and signed, and two
+    conflicting signed copies are a proof of equivocation regardless of
+    who got to read them. *)
+
+val messages_tampered : _ t -> int
+(** Sends whose payload the [tamper] hook replaced. *)
 
 val messages_sent : _ t -> int
 (** Sends accepted from live processes (adversarial extra copies not

@@ -10,6 +10,7 @@ type 'out result = {
   messages_delivered : int;
   messages_dropped : int;
   messages_duplicated : int;
+  messages_tampered : int;
   virtual_time : float;
   counters : Rrfd.Counters.t;
 }
@@ -67,6 +68,25 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?adversary
   in
   let network = ref None in
   let net () = Option.get !network in
+  let byz = Adversary.byzantine adversary ~n in
+  (* Payload-agnostic Byzantine lying: a corrupt or equivocating sender
+     replays its own round-[r−1] emission under a round-[r] tag — a
+     well-typed payload of the algorithm's own message type, yet (for any
+     algorithm whose emissions evolve) not the canonical round-[r]
+     content.  Randomness comes from a dedicated stream so the delay
+     schedule is bit-identical to the byz-free run with the same seed. *)
+  let byz_rng = Dsim.Rng.derive ~seed ~stream:0xB42 in
+  let tamper ~behaviour ~now:_ ~from ~to_:_ (round, msg, kind) =
+    let { Adversary.equivocate; corrupt; forge = _ } = behaviour in
+    match Hashtbl.find_opt procs.(from).emitted (round - 1) with
+    | None -> None
+    | Some stale ->
+        (* Equivocation is a per-receiver coin — broadcast calls the hook
+           once per receiver, so some get the truth and some the lie. *)
+        let lie = corrupt || (equivocate && Dsim.Rng.bool byz_rng) in
+        if lie && stale <> msg then Some (round, stale, kind) else None
+  in
+  let tamper = if Pset.is_empty byz then None else Some tamper in
   let emit_round i round =
     let msg = algorithm.emit procs.(i).state ~round in
     Hashtbl.replace procs.(i).emitted round msg;
@@ -74,7 +94,13 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?adversary
        always hears itself, so i ∉ D(i,r) by construction and the
        adversary cannot fabricate self-suspicion. *)
     (buffer_for procs.(i) ~n round).(i) <- Some msg;
-    Network.broadcast (net ()) ~from:i ~self:false (round, msg, `Fresh)
+    Network.broadcast (net ()) ~from:i ~self:false (round, msg, `Fresh);
+    (* A forging sender also injects round-[r+1] messages it was never
+       asked to send — its current payload under a future round tag. *)
+    match Adversary.byz_behaviour adversary i with
+    | Some { Adversary.forge = true; _ } when round < rounds ->
+        Network.broadcast (net ()) ~from:i ~self:false (round + 1, msg, `Fresh)
+    | _ -> ()
   in
   (* Complete as many consecutive rounds as the buffers allow. *)
   let rec try_complete i =
@@ -92,7 +118,29 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?adversary
         proc.state <-
           algorithm.deliver proc.state ~round ~received:(Array.copy buffer)
             ~faulty;
-        Heard_of.note heard_rec i ~round ~heard:(Pset.diff (Pset.full n) faulty);
+        let heard = Pset.diff (Pset.full n) faulty in
+        (* "Lied to i": the final buffered content differs from the
+           sender's canonical cached emission for this round (or the
+           sender never canonically emitted it — a forged future-round
+           message).  Honest transports only ever carry cached emissions
+           (fresh, retry and help all resend [emitted]), so an honest
+           sender can never land here: lied ⊆ byzantine is a theorem of
+           the construction, which the E24 battery checks as
+           lie-attribution soundness. *)
+        let lied =
+          if Pset.is_empty byz then Pset.empty
+          else
+            Pset.filter
+              (fun j ->
+                match buffer.(j) with
+                | None -> false
+                | Some m -> (
+                    match Hashtbl.find_opt procs.(j).emitted round with
+                    | Some canonical -> m <> canonical
+                    | None -> true))
+              heard
+        in
+        Heard_of.note heard_rec i ~round ~lied ~heard ();
         Hashtbl.remove proc.buffers round;
         proc.current_round <- round + 1;
         if round + 1 > rounds then proc.done_ <- true
@@ -125,7 +173,9 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?adversary
       help to_ ~to_:from ~round
   in
   network :=
-    Some (Network.create ~sim ~n ?min_delay ?max_delay ~adversary ~deliver ());
+    Some
+      (Network.create ~sim ~n ?min_delay ?max_delay ~adversary ?tamper ~deliver
+         ());
   List.iter
     (fun (p, time) ->
       Dsim.Sim.schedule_at sim ~time (fun _ -> Network.crash (net ()) p))
@@ -181,6 +231,7 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?adversary
     messages_delivered = Network.messages_delivered (net ());
     messages_dropped = Network.messages_dropped (net ());
     messages_duplicated = Network.messages_duplicated (net ());
+    messages_tampered = Network.messages_tampered (net ());
     virtual_time = Dsim.Sim.now sim;
     counters;
   }

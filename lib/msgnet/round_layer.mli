@@ -32,6 +32,14 @@ type 'out result = {
   messages_delivered : int;
   messages_dropped : int;  (** Lost to the adversary. *)
   messages_duplicated : int;  (** Extra copies the adversary injected. *)
+  messages_tampered : int;
+      (** Sends whose content a Byzantine sender replaced.  When the
+          adversary has [Byz] atoms, corrupt/equivocating members replay
+          their own round-[r−1] emission under a round-[r] tag (and
+          forging members additionally inject future-round messages), so
+          the recorded heard-of sets gain a "lied" component — see
+          {!Heard_of.to_lie_history}.  Lies change content only; the
+          delay schedule is bit-identical to the byz-free run. *)
   virtual_time : float;  (** Simulated time at which the run drained. *)
   counters : Rrfd.Counters.t;
       (** Work accounting in the engine's vocabulary, measuring what the

@@ -13,6 +13,7 @@ type t = {
   default_f : n:int -> int;
   pp_out : Format.formatter -> int -> unit;
   properties : string list;
+  faults : string list;
   packed : packed;
 }
 
@@ -29,6 +30,13 @@ let default_f t = t.default_f
 let pp_out t = t.pp_out
 
 let properties t = t.properties
+
+let faults t = t.faults
+
+(* Fault-model vocabulary every entry must draw from; the catalog
+   invariant test rejects anything else, so a new fault class has to be
+   added here deliberately rather than by typo. *)
+let known_faults = [ "crash"; "omission"; "byzantine" ]
 
 let default_inputs ~n = Tasks.Inputs.distinct n
 
@@ -63,6 +71,7 @@ let all =
       default_f = (fun ~n:_ -> 1);
       pp_out = Format.pp_print_int;
       properties = consensus_properties;
+      faults = [ "crash"; "omission" ];
       packed =
         Packed
           {
@@ -80,6 +89,7 @@ let all =
       default_f = (fun ~n:_ -> 1);
       pp_out = Format.pp_print_int;
       properties = consensus_properties;
+      faults = [ "crash"; "omission" ];
       packed =
         Packed
           {
@@ -97,6 +107,7 @@ let all =
       default_f = (fun ~n:_ -> 1);
       pp_out = Format.pp_print_int;
       properties = consensus_properties;
+      faults = [ "crash"; "omission" ];
       packed =
         Packed
           {
@@ -114,6 +125,7 @@ let all =
       default_f = (fun ~n:_ -> 1);
       pp_out = Rrfd.Adopt_commit.pp_encoded;
       properties = [ "adopt-commit" ];
+      faults = [ "crash"; "omission" ];
       packed =
         Packed
           {
@@ -136,6 +148,7 @@ let all =
       default_f = (fun ~n -> n - 1);
       pp_out = Format.pp_print_int;
       properties = consensus_properties;
+      faults = [ "crash"; "omission" ];
       packed =
         Packed
           {
@@ -155,6 +168,7 @@ let all =
       default_f = (fun ~n:_ -> 1);
       pp_out = Format.pp_print_int;
       properties = consensus_properties;
+      faults = [ "crash" ];
       packed =
         Packed
           {
@@ -174,11 +188,35 @@ let all =
       default_f = (fun ~n:_ -> 1);
       pp_out = Format.pp_print_int;
       properties = consensus_properties;
+      faults = [ "crash" ];
       packed =
         Packed
           {
             pp_msg = pp_int_list;
             algorithm = (fun ~inputs ~f -> Syncnet.Flood.consensus ~inputs ~f);
+          };
+    };
+    {
+      name = "byz-vote";
+      doc =
+        "one-shot two-threshold quorum vote: decide on n−f unanimous \
+         round-1 votes, publish the quorum as a round-2 certificate — \
+         the decision rule whose forks are ≥ f+1-accountable \
+         (Accountability/E24)";
+      horizon = (fun ~n:_ ~f:_ -> 2);
+      default_n = 4;
+      default_f = (fun ~n:_ -> 1);
+      pp_out = Format.pp_print_int;
+      (* No termination: the vote legitimately abstains whenever the
+         first n−f votes disagree — safety without liveness, which is
+         the point of an accountable decision rule. *)
+      properties = [ "validity"; "agreement" ];
+      faults = [ "crash"; "byzantine" ];
+      packed =
+        Packed
+          {
+            pp_msg = Rrfd.Quorum_vote.pp_msg;
+            algorithm = (fun ~inputs ~f -> Rrfd.Quorum_vote.algorithm ~inputs ~f);
           };
     };
   ]

@@ -28,6 +28,12 @@ type t = {
   pp_out : Format.formatter -> int -> unit;  (** Decision printer. *)
   properties : string list;
       (** Default {!Check.Spec} property names the protocol answers to. *)
+  faults : string list;
+      (** Fault models the protocol's guarantees are stated against, drawn
+          from {!known_faults}.  Entries claiming ["byzantine"] must keep
+          their safety properties when adversary-marked processes lie
+          about content (E24's battery holds them to it); the others are
+          only ever exercised under crash/omission schedules. *)
   packed : packed;
 }
 
@@ -54,6 +60,13 @@ val default_f : t -> n:int -> int
 val pp_out : t -> Format.formatter -> int -> unit
 
 val properties : t -> string list
+
+val faults : t -> string list
+
+val known_faults : string list
+(** The allowed fault-model vocabulary: ["crash"], ["omission"],
+    ["byzantine"].  The catalog invariant test rejects entries declaring
+    anything else. *)
 
 val default_inputs : n:int -> int array
 (** [Tasks.Inputs.distinct n] — every process proposes its own id, the

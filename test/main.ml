@@ -35,4 +35,5 @@ let () =
       ("check", Test_check.tests);
       ("faultnet", Test_faultnet.tests);
       ("live", Test_live.tests);
+      ("byz", Test_byz.tests);
     ]

@@ -191,10 +191,67 @@ let artifact_roundtrip_and_replay () =
     Alcotest.(check bool) "replay reproduces the decision vector" true
       (Check.Artifact.reproduced r)
 
+(* Regression for the Byzantine shrinker: greedy descent over lying
+   plans reaches a 1-minimal fixpoint and is idempotent — re-minimizing
+   a minimized witness accepts zero further steps and returns it
+   unchanged.  Starts from a fat witness (extra lying cells and a
+   fabricated cert on top of a forking split-brain core) so there is
+   something real to strip. *)
+let byz_shrink_minimal_and_idempotent () =
+  let module Byz = Check.Byz_check in
+  let module Acc = Msgnet.Accountability in
+  let n = 4 and f = 1 in
+  let inputs = Byz.binary_inputs n in
+  let fat_witness seed =
+    let strategies = Array.make n None in
+    (* Members echo receivers' inputs (the fork driver), plus a gratuitous
+       cert on member 0 the shrinker should be able to drop. *)
+    for i = 0 to 1 do
+      strategies.(i) <-
+        Some
+          {
+            Acc.votes = Array.copy inputs;
+            cert = (if i = 0 then Some (1, Rrfd.Pset.full (n - f)) else None);
+          }
+    done;
+    { Byz.n; f; seed; inputs; strategies }
+  in
+  let rec hunt k =
+    if k > 500 then Alcotest.fail "no forking schedule within 500 tries"
+    else
+      let w = fat_witness (Dsim.Rng.derive_seed 3 k) in
+      if Byz.forks w then w else hunt (k + 1)
+  in
+  let w = hunt 0 in
+  let minimal, steps = Byz.minimize ~still_fails:Byz.forks w in
+  Alcotest.(check bool) "shrinking made progress" true (steps > 0);
+  Alcotest.(check bool) "minimal witness still forks" true (Byz.forks minimal);
+  (* 1-minimal: no single further reduction still forks. *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "no candidate of the fixpoint forks" false
+        (Byz.forks c))
+    (Byz.candidates minimal);
+  (* Idempotent: minimizing the fixpoint is a zero-step no-op. *)
+  let again, steps' = Byz.minimize ~still_fails:Byz.forks minimal in
+  Alcotest.(check int) "re-minimization accepts no steps" 0 steps';
+  Alcotest.(check bool) "and returns the witness unchanged" true
+    (again = minimal);
+  (* The gratuitous cert cannot survive: forking is vote-driven here. *)
+  Array.iter
+    (fun st ->
+      match st with
+      | Some { Acc.cert = Some _; _ } ->
+        Alcotest.fail "fabricated cert survived shrinking"
+      | _ -> ())
+    minimal.Byz.strategies
+
 let tests =
   [
     Alcotest.test_case "Pool.search first hit is -j invariant" `Quick
       pool_search_first_hit;
+    Alcotest.test_case "byz shrinker is 1-minimal and idempotent" `Quick
+      byz_shrink_minimal_and_idempotent;
     Alcotest.test_case "fuzz finds and 1-minimally shrinks" `Quick
       fuzz_finds_and_shrinks;
     Alcotest.test_case "exhaustive agrees with fuzz" `Quick

@@ -57,6 +57,82 @@ let sut_derivation () =
       List.iter (fun p -> ignore (ok_spec (Check.Spec.property p))) props)
     Catalog.all
 
+(* Catalog invariants: names are unique, every entry declares its fault
+   models from the known vocabulary, Byzantine capability is an explicit
+   declaration (not a default), and every entry actually executes one
+   tiny-n round on every substrate that supports it. *)
+let catalog_invariants () =
+  let names = Catalog.names in
+  Alcotest.(check int)
+    "catalog names are unique"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun proto ->
+      let name = Catalog.name proto in
+      let faults = Catalog.faults proto in
+      Alcotest.(check bool)
+        (name ^ ": declares at least one fault model")
+        true (faults <> []);
+      List.iter
+        (fun fm ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %S is known vocabulary" name fm)
+            true
+            (List.mem fm Catalog.known_faults))
+        faults;
+      Alcotest.(check int)
+        (name ^ ": fault models are not repeated")
+        (List.length faults)
+        (List.length (List.sort_uniq compare faults)))
+    Catalog.all;
+  (* Byzantine capability is opt-in and byz-vote opts in: it is the
+     accountability construction's protocol, built to survive lying
+     members. *)
+  let byz_capable =
+    List.filter
+      (fun p -> List.mem "byzantine" (Catalog.faults p))
+      Catalog.all
+  in
+  Alcotest.(check (list string))
+    "exactly the Byzantine-capable entries" [ "byz-vote" ]
+    (List.map Catalog.name byz_capable);
+  Alcotest.(check bool)
+    "byz-vote still handles crashes" true
+    (List.mem "crash" (Catalog.faults (Catalog.find_exn "byz-vote")));
+  (* One round per substrate per entry, at the entry's own tiny default
+     size.  The execution record must be structurally sane everywhere;
+     decisions are substrate business, not this test's. *)
+  List.iter
+    (fun proto ->
+      let name = Catalog.name proto in
+      let n = Catalog.default_n proto in
+      let f = Catalog.default_f proto ~n in
+      let quiet =
+        Rrfd.Detector.of_schedule ~after:(Array.make n Rrfd.Pset.empty) []
+      in
+      let sane label (ex : int Rrfd.Substrate.execution) =
+        Alcotest.(check int)
+          (Printf.sprintf "%s/%s: one decision slot per process" name label)
+          n
+          (Array.length ex.Rrfd.Substrate.decisions);
+        Alcotest.(check bool)
+          (Printf.sprintf "%s/%s: induced history sized to the run" name label)
+          true
+          (Rrfd.Fault_history.n ex.Rrfd.Substrate.induced = n
+          && Rrfd.Fault_history.rounds ex.Rrfd.Substrate.induced
+             = ex.Rrfd.Substrate.rounds_used)
+      in
+      sane "engine"
+        (Catalog.run_engine proto ~max_rounds:1 ~n ~f ~detector:quiet ());
+      sane "sync"
+        (Catalog.run_sync proto ~rounds:1 ~n ~f
+           ~pattern:(Syncnet.Faults.none ~n) ());
+      sane "msgnet"
+        (Catalog.run_msgnet proto ~rounds:1 ~seed:3 ~n ~f ());
+      sane "live" (Catalog.run_live proto ~rounds:1 ~n ~f ()))
+    Catalog.all
+
 (* One fuzz run per protocol: under a predicate the protocol is safe for,
    a short Monte-Carlo search must come back clean.  Safety-only for the
    protocols whose liveness needs more than the fuzzed horizon. *)
@@ -70,6 +146,7 @@ let fuzz_each_protocol () =
       ("phased-consensus", "true", [ "agreement"; "validity" ]);
       ("early-deciding", "crash:f=1", [ "agreement"; "validity" ]);
       ("flood-consensus", "crash:f=1", [ "agreement"; "validity" ]);
+      ("byz-vote", "true", [ "agreement"; "validity" ]);
     ]
   in
   Alcotest.(check (list string))
@@ -123,7 +200,7 @@ let heard_of_roundtrip =
         for round = 1 to completed.(i) do
           let heard = Pset.add i (Pset.random_subset rng (Pset.full n)) in
           heards.(i).(round - 1) <- heard;
-          Msgnet.Heard_of.note ho i ~round ~heard
+          Msgnet.Heard_of.note ho i ~round ~heard ()
         done
       done;
       let hist = Msgnet.Heard_of.to_history ho in
@@ -159,6 +236,8 @@ let heard_of_roundtrip =
 let tests =
   [
     Alcotest.test_case "catalog well-formed" `Quick catalog_well_formed;
+    Alcotest.test_case "catalog invariants: names, fault models, substrates"
+      `Slow catalog_invariants;
     Alcotest.test_case "SUT derivation agrees with catalog" `Quick
       sut_derivation;
     Alcotest.test_case "one clean fuzz run per protocol" `Slow

@@ -81,6 +81,59 @@ let out_of_range () =
   check "mem beyond small width" false (Pset.mem 100 (Pset.full 4));
   check "mem beyond wide width" false (Pset.mem 500 (Pset.full 70))
 
+(* Range checks are a property of the id, not of the receiving set's
+   representation: mem/add/remove must raise the same error on the
+   immediate-int and multi-word forms, and ids 61/62 — the last small id
+   and the first wide one — are ordinary in-range values on both. *)
+let out_of_range_both_representations () =
+  let bad_id p =
+    Printf.sprintf "Pset: process id %d out of [0,%d)" p Pset.max_universe
+  in
+  let reprs =
+    [ ("small", Pset.full 4); ("wide", Pset.full 70) ]
+  in
+  List.iter
+    (fun (label, s) ->
+      List.iter
+        (fun p ->
+          let expect = Invalid_argument (bad_id p) in
+          Alcotest.check_raises
+            (Printf.sprintf "%s: mem %d raises" label p)
+            expect
+            (fun () -> ignore (Pset.mem p s));
+          Alcotest.check_raises
+            (Printf.sprintf "%s: add %d raises" label p)
+            expect
+            (fun () -> ignore (Pset.add p s));
+          Alcotest.check_raises
+            (Printf.sprintf "%s: remove %d raises" label p)
+            expect
+            (fun () -> ignore (Pset.remove p s)))
+        [ -1; Pset.max_universe; Pset.max_universe + 61 ])
+    reprs;
+  (* Exactly at the 61/62 promotion boundary, on both representations:
+     no raise, and the width adjusts rather than the range check. *)
+  List.iter
+    (fun (label, s) ->
+      check (label ^ ": mem 61 in-range") (Pset.equal s (Pset.full 70))
+        (Pset.mem 61 s);
+      check (label ^ ": mem 62 in-range") (Pset.equal s (Pset.full 70))
+        (Pset.mem 62 s);
+      check (label ^ ": add 61 lands") true (Pset.mem 61 (Pset.add 61 s));
+      check (label ^ ": add 62 lands") true (Pset.mem 62 (Pset.add 62 s));
+      check (label ^ ": remove 62 clears") false
+        (Pset.mem 62 (Pset.remove 62 (Pset.add 62 s))))
+    reprs;
+  check "add 61 keeps the small form small" true
+    (Pset.is_small (Pset.add 61 (Pset.full 4)));
+  check "add 62 promotes the small form" false
+    (Pset.is_small (Pset.add 62 (Pset.full 4)));
+  check "remove 62 from a small set is a small no-op" true
+    (let s = Pset.full 4 in
+     Pset.is_small (Pset.remove 62 s) && Pset.equal s (Pset.remove 62 s));
+  check "remove 61 works on the wide form" false
+    (Pset.mem 61 (Pset.remove 61 (Pset.full 70)))
+
 (* The promotion boundary: small_universe = 62 splits the id space into
    the immediate-int and multi-word representations. *)
 let representation () =
@@ -224,6 +277,8 @@ let tests =
     Alcotest.test_case "extrema" `Quick extrema;
     Alcotest.test_case "enumeration" `Quick enumeration;
     Alcotest.test_case "out-of-range" `Quick out_of_range;
+    Alcotest.test_case "out-of-range on both representations" `Quick
+      out_of_range_both_representations;
     Alcotest.test_case "representation boundary" `Quick representation;
     Alcotest.test_case "wide basics" `Quick wide_basics;
   ]

@@ -2,12 +2,12 @@
 
 let ids_unique_and_ordered () =
   let ids = List.map (fun e -> e.Experiments.Registry.id) Experiments.Registry.all in
-  Alcotest.(check int) "twenty-three experiments" 23 (List.length ids);
-  Alcotest.(check (list string)) "sorted E1..E19 then E21..E23, E25"
+  Alcotest.(check int) "twenty-four experiments" 24 (List.length ids);
+  Alcotest.(check (list string)) "sorted E1..E19 then E21..E25"
     (List.init 19 (fun i -> Printf.sprintf "E%d" (i + 1))
-    @ [ "E21"; "E22"; "E23"; "E25" ])
+    @ [ "E21"; "E22"; "E23"; "E24"; "E25" ])
     ids;
-  Alcotest.(check int) "unique" 23 (List.length (List.sort_uniq compare ids))
+  Alcotest.(check int) "unique" 24 (List.length (List.sort_uniq compare ids))
 
 let find_is_case_insensitive () =
   (match Experiments.Registry.find "e9" with
