@@ -1,4 +1,4 @@
-(* Command-line runner for the paper's experiments (E1-E25).
+(* Command-line runner for the paper's experiments (E1-E26).
 
    `rrfd-experiments list`            enumerate experiments
    `rrfd-experiments run E6 E9`       run selected experiments
@@ -8,6 +8,7 @@
    `rrfd-experiments live`            real domains + live heard-of replay
    `rrfd-experiments scale`           large-n grid / throughput gate
    `rrfd-experiments byz`             Byzantine fork accountability (E24)
+   `rrfd-experiments derive`          derive+certify heard-of predicates (E26)
    options: --seed, --trials, -j/--jobs *)
 
 (* The raw OS monotonic clock, for the scale throughput measurements. *)
@@ -97,7 +98,7 @@ let all_cmd =
          (fun e -> e.Experiments.Registry.run ~seed ~trials ~jobs)
          Experiments.Registry.all)
   in
-  Cmd.v (Cmd.info "all" ~doc:"Run every experiment (E1-E21).")
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment (E1-E26).")
     Term.(const run $ seed_arg $ trials_arg $ jobs_arg)
 
 (* `lattice` — print the submodel relation between two named predicates at
@@ -142,7 +143,7 @@ let lattice_cmd =
           (Rrfd.Fault_history.to_string_compact h);
         0)
     | None, _ | _, None ->
-      Printf.eprintf "unknown predicate name; choose from: %s\n" names;
+      Printf.eprintf "unknown predicate name, expected one of: %s\n" names;
       2
   in
   Cmd.v
@@ -181,7 +182,7 @@ let trace_cmd =
     setup_logs ();
     match Protocols.Catalog.find protocol with
     | None ->
-      Printf.eprintf "unknown protocol %s; choose from: %s\n" protocol
+      Printf.eprintf "unknown protocol %s, expected one of: %s\n" protocol
         (String.concat ", " Protocols.Catalog.names);
       2
     | Some proto ->
@@ -780,7 +781,7 @@ let live_cmd =
     match Protocols.Catalog.find name with
     | Some p -> p
     | None ->
-      Printf.eprintf "unknown protocol %S; choose from: %s\n" name
+      Printf.eprintf "unknown protocol %S, expected one of: %s\n" name
         (String.concat ", " Protocols.Catalog.names);
       exit 2
   in
@@ -1315,6 +1316,192 @@ let byz_cmd =
       $ forge_arg $ grid_arg $ json_arg $ fuzz_arg $ exhaustive_arg
       $ seeds_arg $ save_arg $ replay_arg)
 
+let derive_cmd =
+  let module Derive = Check.Derive in
+  let policy_arg =
+    let doc =
+      "Adversary policy to characterise, atoms joined with '+': "
+      ^ Check.Spec.adversary_names ^ "."
+    in
+    Arg.(
+      value & opt string "drop:p=20" & info [ "policy" ] ~docv:"SPEC" ~doc)
+  in
+  let n_arg = Arg.(value & opt int 5 & info [ "n" ] ~doc:"System size.") in
+  let f_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "f" ] ~doc:"Resilience (default: a minority, (n-1)/2).")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 4 & info [ "rounds" ] ~doc:"Simulated rounds.")
+  in
+  let fuzz_arg =
+    let doc =
+      "Certification trials: fresh executions, sharded through \
+       Campaign.search, that must all satisfy the derived predicate \
+       (the upward certificate; the verdict is identical at every -j)."
+    in
+    Arg.(value & opt int 10_000 & info [ "fuzz" ] ~docv:"TRIALS" ~doc)
+  in
+  let exhaustive_arg =
+    let doc =
+      "Prove tightness by enumeration: for each frontier member, search \
+       the $(i,whole) space of derived-predicate histories for a \
+       separating one (requires n ≤ 4; the space is ((2^n-1)^n)^rounds)."
+    in
+    Arg.(value & flag & info [ "exhaustive" ] ~doc)
+  in
+  let grid_arg =
+    let doc =
+      "Run the full E26 grid — every E21 policy plus a Byzantine row at \
+       n=5 f=2, and two exhaustively-proven rows at n=3 — instead of a \
+       single policy (--policy/-n/-f/--rounds/--exhaustive ignored; \
+       --trials sets the observation count per row, with certification \
+       at twice that)."
+    in
+    Arg.(value & flag & info [ "grid" ] ~doc)
+  in
+  let json_arg =
+    let doc =
+      "With $(b,--grid): also write the table and every row's full \
+       e26-derive artifact (witnesses and separations included) to \
+       $(docv) as compact JSON ($(b,auto) names the file \
+       DERIVE_<git-sha>.json).  The output depends only on --seed and \
+       --trials — never on -j — which is what the derive smoke gate \
+       compares."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let save_arg =
+    let doc =
+      "Save the derivation — policy, derived predicate, every witness \
+       and separation — as a replayable e26-derive artifact."
+    in
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Replay a saved e26-derive artifact: re-check every witness pair, \
+       re-run each fuzz witness's (seed, trial) execution and each \
+       separation's enumeration, and demand bit-identical histories."
+    in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let or_die = function
+    | Ok v -> v
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  let run_replay path =
+    let outcome = or_die (Derive.load path) in
+    let r = or_die (Derive.replay outcome) in
+    Printf.printf "derive replay: %s (policy %s)\n" path
+      outcome.Derive.policy;
+    Printf.printf "  derived: %s\n"
+      (String.concat " ∧ " outcome.Derive.conjuncts);
+    Printf.printf "  witness pairs: %s\n"
+      (if r.Derive.witnesses_valid then "valid" else "INVALID");
+    Printf.printf "  fuzz witnesses: %s\n"
+      (if r.Derive.fuzz_reproduced then "reproduced bit-for-bit"
+       else "DIVERGED");
+    Printf.printf "  separations: %s\n"
+      (if r.Derive.separations_valid then "re-proved by enumeration"
+       else "DIVERGED");
+    if Derive.reproduced r then 0 else 1
+  in
+  let run_grid ~seed ~trials ~jobs ~json =
+    let table, rows =
+      Experiments.E26_derive.run_detailed ~seed ?trials ?jobs ()
+    in
+    Experiments.Table.print table;
+    Option.iter
+      (fun path ->
+        let str s = Report.Json.String s in
+        let j =
+          Report.Json.Obj
+            [
+              ("id", str table.Experiments.Table.id);
+              ("seed", Report.Json.Number (float_of_int seed));
+              ( "header",
+                Report.Json.List
+                  (List.map str table.Experiments.Table.header) );
+              ( "rows",
+                Report.Json.List
+                  (List.map
+                     (fun row -> Report.Json.List (List.map str row))
+                     table.Experiments.Table.rows) );
+              ("ok", Report.Json.Bool (Experiments.Table.ok table));
+              ( "derivations",
+                Report.Json.List
+                  (List.map
+                     (fun (r : Experiments.E26_derive.row) ->
+                       Report.Json.Obj
+                         [
+                           ("policy", str r.Experiments.E26_derive.policy);
+                           ("mode", str r.Experiments.E26_derive.mode);
+                           ( "artifact",
+                             Derive.to_json r.Experiments.E26_derive.outcome
+                           );
+                         ])
+                     rows) );
+            ]
+        in
+        let path = Report.artifact_path ~prefix:"DERIVE" path in
+        Report.save_json path j;
+        Printf.printf "grid artifact written to %s\n" path)
+      json;
+    if Experiments.Table.ok table then 0 else 1
+  in
+  let run_single ~seed ~trials ~jobs ~policy ~n ~f ~rounds ~fuzz ~exhaustive
+      ~save =
+    let cfg =
+      {
+        Derive.n;
+        f;
+        rounds;
+        observe_trials = Option.value trials ~default:2000;
+        certify_trials = fuzz;
+        exhaustive;
+        seed;
+        jobs;
+      }
+    in
+    let outcome = or_die (Derive.derive ~cfg ~policy ()) in
+    Format.printf "%a@." Derive.pp outcome;
+    Option.iter
+      (fun path ->
+        Derive.save path outcome;
+        Printf.printf "artifact written to %s\n" path)
+      save;
+    if Derive.ok outcome then 0 else 1
+  in
+  let run seed trials jobs policy n f rounds fuzz exhaustive grid json save
+      replay =
+    setup_logs ();
+    match replay with
+    | Some path -> run_replay path
+    | None ->
+      if grid then run_grid ~seed ~trials ~jobs ~json
+      else
+        let f = match f with Some f -> f | None -> (n - 1) / 2 in
+        run_single ~seed ~trials ~jobs ~policy ~n ~f ~rounds ~fuzz
+          ~exhaustive ~save
+  in
+  Cmd.v
+    (Cmd.info "derive"
+       ~doc:
+         "Derive the strongest heard-of predicate an adversary policy's \
+          executions satisfy (E26), certified two-sidedly: a fresh fuzz \
+          campaign proves it sound, a violating execution per stronger \
+          candidate proves it tight (at small n by exhaustive \
+          enumeration), with replayable e26-derive artifacts.")
+    Term.(
+      const run $ seed_arg $ trials_arg $ jobs_arg $ policy_arg $ n_arg
+      $ f_arg $ rounds_arg $ fuzz_arg $ exhaustive_arg $ grid_arg $ json_arg
+      $ save_arg $ replay_arg)
+
 let main =
   let doc =
     "Reproduce the results of Gafni's 'Round-by-Round Fault Detectors' \
@@ -1323,6 +1510,6 @@ let main =
   Cmd.group
     (Cmd.info "rrfd-experiments" ~version:"1.0.0" ~doc)
     [ list_cmd; run_cmd; all_cmd; lattice_cmd; trace_cmd; check_cmd;
-      faultnet_cmd; xsub_cmd; live_cmd; scale_cmd; byz_cmd ]
+      faultnet_cmd; xsub_cmd; live_cmd; scale_cmd; byz_cmd; derive_cmd ]
 
 let () = exit (Cmd.eval' main)

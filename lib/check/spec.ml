@@ -58,7 +58,7 @@ let predicate spec =
       | "honest-kernel" -> Ok (Rrfd.Predicate.eventual_honest_kernel ~k)
       | _ ->
         Error
-          (Printf.sprintf "unknown predicate %S; choose from: %s" spec
+          (Printf.sprintf "unknown predicate %S, expected one of: %s" spec
              predicate_names))
 
 let generator_names =
@@ -99,7 +99,7 @@ let generator spec =
         Ok ((fun rng ~n -> detector_s rng ~n), Rrfd.Predicate.detector_s)
       | _ ->
         Error
-          (Printf.sprintf "unknown generator %S; choose from: %s" spec
+          (Printf.sprintf "unknown generator %S, expected one of: %s" spec
              generator_names))
 
 (* SUT names are the protocol catalog's: registering a protocol there is
@@ -110,7 +110,7 @@ let sut spec =
   match Protocols.Catalog.find spec with
   | Some p -> Ok (Sut.of_protocol p)
   | None ->
-    Error (Printf.sprintf "unknown sut %S; choose from: %s" spec sut_names)
+    Error (Printf.sprintf "unknown sut %S, expected one of: %s" spec sut_names)
 
 let property_names =
   "agreement, k-agreement:k=_, validity, termination, adopt-commit"
@@ -126,7 +126,7 @@ let property spec =
       | "adopt-commit" -> Ok Property.adopt_commit_coherence
       | _ ->
         Error
-          (Printf.sprintf "unknown property %S; choose from: %s" spec
+          (Printf.sprintf "unknown property %S, expected one of: %s" spec
              property_names))
 
 (* Adversary policies share the same [name:k=v,...] grammar; the parser

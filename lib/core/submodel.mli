@@ -34,3 +34,67 @@ val check_sampled :
     [b]. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit
+
+(** {1 The named-predicate lattice}
+
+    Answering many order queries over the same predicate vocabulary with
+    {!check_exhaustive} repeats the exponential history walk per pair.
+    {!lattice} walks the space {e once} — every history of depth
+    [0..rounds] over [n] processes — and records, per named predicate, the
+    bitset of histories it accepts; every subsequent query (implication,
+    equivalence, immediate neighbours, redundant conjuncts) is bitset
+    algebra.  Sound and complete for the enumerated size, exactly like
+    {!check_exhaustive}: intended for [n ≤ 3], [rounds ≤ 2]. *)
+
+type lattice
+
+val lattice : n:int -> rounds:int -> (string * Predicate.t) list -> lattice
+(** [lattice ~n ~rounds named] evaluates every named predicate on every
+    history of at most [rounds] rounds over [n] processes (each process's
+    round fault set ranging over all proper subsets, the empty history
+    included).  Names are the query keys and must be distinct.
+    @raise Invalid_argument on an empty or duplicate-named vocabulary. *)
+
+val lattice_size : lattice -> int
+(** Number of histories enumerated ([Σ_{d≤rounds} ((2^n − 1)^n)^d]). *)
+
+val lattice_names : lattice -> string list
+(** The vocabulary, in construction order. *)
+
+val mem : lattice -> string -> bool
+
+val implies : lattice -> string -> string -> bool
+(** [implies l a b]: every enumerated history satisfying [a] satisfies
+    [b] — the submodel order of Section 2 restricted to the vocabulary.
+    All queries below raise [Invalid_argument] on names outside it. *)
+
+val equivalent : lattice -> string -> string -> bool
+(** Implication both ways: the two names accept the same history set. *)
+
+val strictly_stronger : lattice -> string -> string -> bool
+(** [strictly_stronger l a b]: [a]'s history set is a proper subset of
+    [b]'s. *)
+
+val immediate_stronger : lattice -> string -> string list
+(** Covers from below: names strictly stronger than the argument with no
+    third name strictly between — the downward neighbours a derived
+    predicate must refute to be tight. *)
+
+val immediate_weaker : lattice -> string -> string list
+(** Covers from above. *)
+
+val meet_implies : lattice -> string list -> string -> bool
+(** [meet_implies l names target]: the conjunction of [names] implies
+    [target] over the enumerated space ([names = []] is the empty
+    conjunction, i.e. [true]). *)
+
+val minimal_conjuncts : lattice -> string list -> string list
+(** Drop every name implied by the conjunction of the others, in one
+    deterministic left-to-right pass: a minimal sub-vocabulary with the
+    same meet, used to {e name} a derived predicate without changing it. *)
+
+val weakest : lattice -> string list -> string list
+(** The maximal (weakest) members of a set of names: those not strictly
+    stronger than any other member.  Applied to the refuted candidates of
+    a derivation this is the frontier — refuting it refutes everything
+    strictly stronger. *)

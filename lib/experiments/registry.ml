@@ -131,6 +131,11 @@ let all =
       title = "large-n scaling campaigns on the wide Pset";
       run = wrap_campaign E25_scale.run;
     };
+    {
+      id = "E26";
+      title = "derived heard-of predicates from adversary policies";
+      run = wrap_campaign E26_derive.run;
+    };
   ]
 
 let find id =

@@ -51,7 +51,7 @@ let of_spec spec =
             (Printf.sprintf "%S: deadline needs ns=, us= or ms=" spec))
       | _ ->
         Error
-          (Printf.sprintf "unknown patience %S; choose from: %s" spec names))
+          (Printf.sprintf "unknown patience %S, expected one of: %s" spec names))
 
 let to_string = function
   | Wait_all -> "all"

@@ -123,7 +123,7 @@ let parse_atom s =
       Ok (Some (Byz { members; behaviour }))
   | _ ->
       Error
-        (Printf.sprintf "unknown adversary %S (expected one of: %s)" name
+        (Printf.sprintf "unknown adversary %S, expected one of: %s" name
            spec_names)
 
 let of_spec s =

@@ -34,6 +34,7 @@ let () =
       ("report", Test_report.tests);
       ("check", Test_check.tests);
       ("faultnet", Test_faultnet.tests);
+      ("derive", Test_derive.tests);
       ("live", Test_live.tests);
       ("byz", Test_byz.tests);
     ]

@@ -165,6 +165,41 @@ let short_history_padded () =
     (fun d -> Alcotest.(check bool) "everyone decided" true (Option.is_some d))
     obs.Check.Property.decisions
 
+(* Sharded enumeration: the union of the per-first-round shards the
+   exhaustive checker hands to its domains must be exactly the serial
+   fold's set — same count, same multiset of histories. *)
+let shards_cover_the_fold () =
+  let n = 3 and rounds = 2 in
+  List.iter
+    (fun (name, p) ->
+      let collect fold = fold ~init:[] ~f:(fun acc h -> H.to_string_compact h :: acc) in
+      let serial =
+        collect (fun ~init ~f ->
+            Adversary.Enumerate.fold ~n ~rounds ~satisfying:p ~init ~f)
+      in
+      let sharded =
+        List.concat_map
+          (fun d ->
+            collect (fun ~init ~f ->
+                Adversary.Enumerate.fold_extensions
+                  ~prefix:(H.append (H.empty ~n) d)
+                  ~rounds ~satisfying:p ~init ~f))
+          (Adversary.Enumerate.round_assignments ~n)
+      in
+      Alcotest.(check int)
+        (name ^ ": shard union has the serial count")
+        (List.length serial) (List.length sharded);
+      let digest l = Digest.string (String.concat "\n" (List.sort compare l)) in
+      Alcotest.(check string)
+        (name ^ ": shard union is the serial set")
+        (Digest.to_hex (digest serial))
+        (Digest.to_hex (digest sharded)))
+    [
+      ("omission:f=1", Rrfd.Predicate.omission ~f:1);
+      ("async:f=1", Rrfd.Predicate.async_resilient ~f:1);
+      ("crash-closure", Rrfd.Predicate.crash_closure);
+    ]
+
 (* Artifact ---------------------------------------------------------- *)
 
 let artifact_roundtrip_and_replay () =
@@ -262,6 +297,8 @@ let tests =
       short_history_padded;
     Alcotest.test_case "artifact JSON round-trip + replay" `Quick
       artifact_roundtrip_and_replay;
+    Alcotest.test_case "shard union equals the serial fold" `Quick
+      shards_cover_the_fold;
   ]
   @ List.map QCheck_alcotest.to_alcotest
       [

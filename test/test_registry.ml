@@ -2,12 +2,12 @@
 
 let ids_unique_and_ordered () =
   let ids = List.map (fun e -> e.Experiments.Registry.id) Experiments.Registry.all in
-  Alcotest.(check int) "twenty-four experiments" 24 (List.length ids);
-  Alcotest.(check (list string)) "sorted E1..E19 then E21..E25"
+  Alcotest.(check int) "twenty-five experiments" 25 (List.length ids);
+  Alcotest.(check (list string)) "sorted E1..E19 then E21..E26"
     (List.init 19 (fun i -> Printf.sprintf "E%d" (i + 1))
-    @ [ "E21"; "E22"; "E23"; "E24"; "E25" ])
+    @ [ "E21"; "E22"; "E23"; "E24"; "E25"; "E26" ])
     ids;
-  Alcotest.(check int) "unique" 24 (List.length (List.sort_uniq compare ids))
+  Alcotest.(check int) "unique" 25 (List.length (List.sort_uniq compare ids))
 
 let find_is_case_insensitive () =
   (match Experiments.Registry.find "e9" with
@@ -43,7 +43,7 @@ let cells_format () =
 let counter_backed =
   [
     "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E14"; "E17"; "E18"; "E21"; "E22";
-    "E23"; "E25";
+    "E23"; "E25"; "E26";
   ]
 
 let every_experiment_runs_tiny () =

@@ -88,6 +88,158 @@ let model_generators_match_their_predicates () =
           m.Rrfd.Model.name Rrfd.Fault_history.pp h)
     (Rrfd.Model.all ~n:5 ~f:2)
 
+(* ------------------------------------------------------------------ *)
+(* qcheck properties of the checkers themselves.                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A varied pool of named predicates; properties draw indices into it. *)
+let pool =
+  [|
+    ("true", P.always);
+    ("no-self", P.no_self_suspicion);
+    ("crash-closure", P.crash_closure);
+    ("someone-seen", P.someone_seen_by_all);
+    ("antisym", P.antisymmetric_misses);
+    ("detector-s", P.detector_s);
+    ("eq5", P.identical_views);
+    ("kset:k=1", P.k_set ~k:1);
+    ("kset:k=2", P.k_set ~k:2);
+    ("async:f=1", P.async_resilient ~f:1);
+    ("async:f=2", P.async_resilient ~f:2);
+    ("omission:f=1", P.omission ~f:1);
+    ("omission:f=2", P.omission ~f:2);
+    ("crash:f=1", P.crash ~f:1);
+    ("shm:f=1", P.shared_memory ~f:1);
+    ("shm-alt:f=1", P.shared_memory_alt ~f:1);
+    ("snapshot:f=1", P.snapshot ~f:1);
+    ("async-mixed:f=1,t=2", P.async_mixed ~f:1 ~t:2);
+  |]
+
+let reflexivity_property =
+  QCheck.Test.make ~name:"check_exhaustive is reflexive" ~count:18
+    QCheck.(int_bound (Array.length pool - 1))
+    (fun i ->
+      let _, p = pool.(i) in
+      S.check_exhaustive ~n:3 ~rounds:1 p p = S.Implies)
+
+(* With one fixed sample set, "no sampled history satisfies a but not b"
+   is a transitive relation — a theorem, provided every pairwise check
+   sees the *same* samples.  Identically-seeded fresh RNGs guarantee
+   that (check_sampled splits its argument per sample, deterministic in
+   the seed). *)
+let sampled_implies a b =
+  S.check_sampled (Dsim.Rng.create 77) ~samples:60 ~rounds:2
+    ~gen:(fun rng -> Rrfd.Detector_gen.async rng ~n:4 ~f:3)
+    ~n:4 a b
+  = S.Implies
+
+let transitivity_property =
+  QCheck.Test.make ~name:"sampled Implies is transitive on a fixed sample set"
+    ~count:120
+    QCheck.(
+      triple
+        (int_bound (Array.length pool - 1))
+        (int_bound (Array.length pool - 1))
+        (int_bound (Array.length pool - 1)))
+    (fun (i, j, k) ->
+      let _, a = pool.(i) and _, b = pool.(j) and _, c = pool.(k) in
+      (not (sampled_implies a b && sampled_implies b c))
+      || sampled_implies a c)
+
+(* Regression pin: the first counterexample the exhaustive walk reports
+   for a known non-implication must stay exactly this history (the
+   enumeration order is part of the artifact-replay contract). *)
+let pinned_counterexample () =
+  match S.check_exhaustive ~n:3 ~rounds:2 (P.omission ~f:1) (P.crash ~f:1) with
+  | S.Implies -> Alcotest.fail "omission:f=1 ⇒ crash:f=1 should be refuted"
+  | S.Counterexample h ->
+    Alcotest.(check string)
+      "first counterexample pinned" "n=3;1:{}{}{1};2:{}{}{}"
+      (Rrfd.Fault_history.to_string_compact h);
+    Alcotest.(check bool) "satisfies the left side" true
+      (P.holds (P.omission ~f:1) h);
+    Alcotest.(check bool) "violates the right side" false
+      (P.holds (P.crash ~f:1) h)
+
+(* ------------------------------------------------------------------ *)
+(* The named-predicate lattice (E26's order oracle).                   *)
+(* ------------------------------------------------------------------ *)
+
+let small_named =
+  [
+    ("true", P.always);
+    ("async", P.async_resilient ~f:1);
+    ("someone-seen", P.someone_seen_by_all);
+    ("shm", P.shared_memory ~f:1);
+    ("omission", P.omission ~f:1);
+    ("crash", P.crash ~f:1);
+  ]
+
+let small_lattice = lazy (S.lattice ~n:3 ~rounds:2 small_named)
+
+(* The bitset lattice must answer every pair exactly as the pairwise
+   exhaustive walk does — same space, same verdicts. *)
+let lattice_agrees_with_check_exhaustive () =
+  let lat = Lazy.force small_lattice in
+  List.iter
+    (fun (na, pa) ->
+      List.iter
+        (fun (nb, pb) ->
+          let expected =
+            match S.check_exhaustive ~n:3 ~rounds:2 pa pb with
+            | S.Implies -> true
+            | S.Counterexample _ -> false
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s ⇒ %s" na nb)
+            expected (S.implies lat na nb))
+        small_named)
+    small_named
+
+let lattice_neighbours () =
+  let lat = Lazy.force small_lattice in
+  Alcotest.(check (list string))
+    "covers below omission" [ "crash" ]
+    (S.immediate_stronger lat "omission");
+  Alcotest.(check (list string))
+    "covers above crash" [ "omission" ]
+    (S.immediate_weaker lat "crash");
+  Alcotest.(check (list string))
+    "covers below true" [ "async"; "someone-seen" ]
+    (S.immediate_stronger lat "true");
+  Alcotest.(check bool) "shm strictly stronger than async" true
+    (S.strictly_stronger lat "shm" "async");
+  Alcotest.(check bool) "async not stronger than shm" false
+    (S.strictly_stronger lat "async" "shm")
+
+let lattice_meet_and_frontier () =
+  let lat = Lazy.force small_lattice in
+  (* shm is exactly async ∧ someone-seen: the conjunction implies it,
+     either conjunct alone does not. *)
+  Alcotest.(check bool) "async ∧ someone-seen ⇒ shm" true
+    (S.meet_implies lat [ "async"; "someone-seen" ] "shm");
+  Alcotest.(check bool) "async alone ⇏ shm" false
+    (S.meet_implies lat [ "async" ] "shm");
+  Alcotest.(check bool) "empty meet is true" true
+    (S.meet_implies lat [] "true");
+  Alcotest.(check (list string))
+    "redundant conjuncts dropped" [ "crash" ]
+    (S.minimal_conjuncts lat [ "true"; "async"; "omission"; "crash" ]);
+  Alcotest.(check (list string))
+    "conjunction of incomparables kept" [ "async"; "someone-seen" ]
+    (S.minimal_conjuncts lat [ "true"; "async"; "someone-seen" ]);
+  Alcotest.(check (list string))
+    "weakest of a chain plus branch" [ "shm" ]
+    (S.weakest lat [ "crash"; "omission"; "shm" ]);
+  (* omission:f=1 confines misses to one faulty set, so |⋃D| ≤ 1 < n:
+     it is strictly stronger than someone-seen and drops out. *)
+  Alcotest.(check (list string))
+    "dominated members drop out" [ "someone-seen" ]
+    (S.weakest lat [ "someone-seen"; "omission"; "crash" ]);
+  Alcotest.(check (list string))
+    "incomparables are all weakest" [ "async"; "someone-seen" ]
+    (S.weakest lat [ "async"; "someone-seen"; "crash" ])
+
 let tests =
   [
     Alcotest.test_case "lattice positive edges" `Slow lattice_positive;
@@ -95,4 +247,12 @@ let tests =
     Alcotest.test_case "item 6 equivalence" `Slow detector_s_equals_wait_free_omission;
     Alcotest.test_case "sampled checks" `Quick sampled_agrees_with_exhaustive;
     Alcotest.test_case "model generators" `Quick model_generators_match_their_predicates;
+    Alcotest.test_case "pinned counterexample" `Quick pinned_counterexample;
+    Alcotest.test_case "lattice vs check_exhaustive" `Slow
+      lattice_agrees_with_check_exhaustive;
+    Alcotest.test_case "lattice neighbours" `Slow lattice_neighbours;
+    Alcotest.test_case "lattice meet and frontier" `Slow
+      lattice_meet_and_frontier;
   ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ reflexivity_property; transitivity_property ]
