@@ -70,16 +70,39 @@ let () =
     "bench [--json PATH] [--check BASELINE.json] [--tolerance PCT] [--trials \
      N] [--speedup-trials N] [--quota SECS]"
 
+(* Accurate per-run allocation measure.  Bechamel 0.5's own
+   minor_allocated reads [Gc.quick_stat], which on OCaml 5 excludes the
+   words allocated since the last minor collection — subjects that
+   allocate less than a minor heap per sampling batch report 0.
+   [Gc.minor_words] reads the domain's allocation pointer directly, so
+   the OLS fit over it is exact down to a single word per run. *)
+module Minor_words = struct
+  type witness = unit
+
+  let load () = ()
+  let unload () = ()
+  let make () = ()
+  let get () = Gc.minor_words ()
+  let label () = "minor-words"
+  let unit () = "mnw"
+end
+
+let minor_words_instance =
+  Measure.instance (module Minor_words) (Measure.register (module Minor_words))
+
 (* -------------------------------------------------------------------- *)
 (* Micro-benchmark subjects.                                             *)
 
+(* The steady-state kernel subjects hoist everything reusable — inputs,
+   algorithm, the (stateful) generator — out of the timed closure, so the
+   number is the per-run cost of the engine loop plus one detector query,
+   not of rebuilding the fixture. *)
 let bench_engine_kset_round n =
   let rng = Dsim.Rng.create seed in
-  Staged.stage (fun () ->
-      let inputs = Tasks.Inputs.distinct n in
-      let detector = Rrfd.Detector_gen.k_set rng ~n ~k:2 in
-      ignore
-        (Rrfd.Engine.run ~n ~algorithm:(Rrfd.Kset.one_round ~inputs) ~detector ()))
+  let inputs = Tasks.Inputs.distinct n in
+  let detector = Rrfd.Detector_gen.k_set rng ~n ~k:2 in
+  let algorithm = Rrfd.Kset.one_round ~inputs in
+  Staged.stage (fun () -> ignore (Rrfd.Engine.run ~n ~algorithm ~detector ()))
 
 let bench_full_info_rounds n =
   let rng = Dsim.Rng.create seed in
@@ -93,10 +116,9 @@ let bench_full_info_rounds n =
 
 let bench_immediate_snapshot n =
   let rng = Dsim.Rng.create seed in
+  let schedule = Shm.Exec.Random (Dsim.Rng.split rng) in
   Staged.stage (fun () ->
-      ignore
-        (Shm.Immediate_snapshot.run_once ~n
-           ~schedule:(Shm.Exec.Random (Dsim.Rng.split rng))))
+      ignore (Shm.Immediate_snapshot.run_once ~n ~schedule))
 
 let bench_adopt_commit_registers n =
   let rng = Dsim.Rng.create seed in
@@ -233,8 +255,8 @@ let bench_campaign_kset n =
 let bench_substrate_dispatch n =
   let rng = Dsim.Rng.create seed in
   let proto = Protocols.Catalog.find_exn "kset-one-round" in
+  let detector = Rrfd.Detector_gen.k_set rng ~n ~k:2 in
   Staged.stage (fun () ->
-      let detector = Rrfd.Detector_gen.k_set rng ~n ~k:2 in
       ignore (Protocols.Catalog.run_engine proto ~n ~f:1 ~detector ()))
 
 let bench_sync_flood n =
@@ -297,35 +319,55 @@ let tests =
         bench_live_substrate;
     ]
 
-(* Returns the (name, ns/run) estimates alongside the printed listing, so
-   the telemetry layer can export exactly what was shown. *)
+(* Returns (name, ns/run, minor words/run) estimates alongside the printed
+   listing, so the telemetry layer can export exactly what was shown.  The
+   allocation column is the same OLS fit applied to bechamel's
+   minor_allocated measure: words of minor-heap allocation per run,
+   attributing loop-amortised GC noise away exactly like the clock fit. *)
 let run_timing () =
-  Printf.printf "\n=== micro-benchmarks (estimated time per run) ===\n%!";
+  Printf.printf
+    "\n=== micro-benchmarks (estimated time / minor words per run) ===\n%!";
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second !quota) ~kde:None () in
-  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let raw =
+    Benchmark.all cfg [ minor_words_instance; Instance.monotonic_clock ] tests
+  in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let estimate results name =
+    match Hashtbl.find_opt results name with
+    | None -> nan
+    | Some ols_result -> (
+      match Analyze.OLS.estimates ols_result with
+      | Some (t :: _) -> t
+      | Some [] | None -> nan)
+  in
+  let times = Analyze.all ols Instance.monotonic_clock raw in
+  let allocs = Analyze.all ols minor_words_instance raw in
   let rows = ref [] in
   Hashtbl.iter
-    (fun name ols_result ->
-      let nanos =
-        match Analyze.OLS.estimates ols_result with
-        | Some (t :: _) -> t
-        | Some [] | None -> nan
-      in
-      rows := (name, nanos) :: !rows)
-    results;
+    (fun name _ ->
+      let nanos = estimate times name in
+      let words = estimate allocs name in
+      let alloc = if Float.is_nan words then None else Some words in
+      rows := (name, nanos, alloc) :: !rows)
+    times;
   let rows = List.sort compare !rows in
   List.iter
-    (fun (name, nanos) ->
+    (fun (name, nanos, alloc) ->
+      let alloc_str =
+        match alloc with
+        | None -> ""
+        | Some w -> Printf.sprintf "  %10.1f w/run" w
+      in
       if Float.is_nan nanos then Printf.printf "  %-40s (no estimate)\n" name
       else if nanos > 1_000_000.0 then
-        Printf.printf "  %-40s %10.3f ms/run\n" name (nanos /. 1_000_000.0)
+        Printf.printf "  %-40s %10.3f ms/run%s\n" name
+          (nanos /. 1_000_000.0) alloc_str
       else if nanos > 1_000.0 then
-        Printf.printf "  %-40s %10.3f us/run\n" name (nanos /. 1_000.0)
-      else Printf.printf "  %-40s %10.1f ns/run\n" name nanos)
+        Printf.printf "  %-40s %10.3f us/run%s\n" name (nanos /. 1_000.0)
+          alloc_str
+      else Printf.printf "  %-40s %10.1f ns/run%s\n" name nanos alloc_str)
     rows;
   rows
 
@@ -346,7 +388,7 @@ let run_scale () =
     in
     Experiments.E25_scale.print_measurements ms;
     List.map
-      (fun s -> (s.Report.name, s.Report.ns_per_run))
+      (fun s -> (s.Report.name, s.Report.ns_per_run, s.Report.alloc_per_run))
       (Experiments.E25_scale.subjects_of ms)
   end
 
@@ -416,7 +458,8 @@ let build_report ~subjects ~tables ~speedup =
       };
     subjects =
       List.map
-        (fun (name, nanos) -> { Report.name; ns_per_run = nanos })
+        (fun (name, nanos, alloc) ->
+          { Report.name; ns_per_run = nanos; alloc_per_run = alloc })
         subjects;
     tables =
       List.map

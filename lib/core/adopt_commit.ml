@@ -50,14 +50,14 @@ let algorithm ~inputs =
         | _, Some vote -> Vote vote
         | _, None -> Value s.input);
     deliver =
-      (fun s ~round ~received ~faulty ->
+      (fun s ~round ~view ->
         (* Self-inclusion: a process knows its own round message through its
            local state even when the detector marks it late. *)
         let seen extract own =
           let items =
-            Array.to_list received |> List.filter_map (Option.map extract)
+            List.rev (View.fold (fun _ m acc -> extract m :: acc) view [])
           in
-          if Pset.mem s.me faulty then own :: items else items
+          if Pset.mem s.me (View.faulty view) then own :: items else items
         in
         match round with
         | 1 ->

@@ -2,8 +2,7 @@ type ('state, 'msg, 'out) t = {
   name : string;
   init : n:int -> Proc.t -> 'state;
   emit : 'state -> round:int -> 'msg;
-  deliver :
-    'state -> round:int -> received:'msg option array -> faulty:Pset.t -> 'state;
+  deliver : 'state -> round:int -> view:'msg View.t -> 'state;
   decide : 'state -> 'out option;
 }
 

@@ -20,13 +20,14 @@ type ('state, 'msg, 'out) t = {
       (** Initial state of each process in an [n]-process system. *)
   emit : 'state -> round:int -> 'msg;
       (** The message this process sends to everyone in the given round. *)
-  deliver :
-    'state -> round:int -> received:'msg option array -> faulty:Pset.t -> 'state;
-      (** End-of-round transition.  [received.(j)] is [Some m] iff
-          [p_j ∉ D(i,r)] (so exactly the processes outside [faulty] are
-          received); [faulty] is [D(i,r)].  Note the paper allows a process
+  deliver : 'state -> round:int -> view:'msg View.t -> 'state;
+      (** End-of-round transition.  The view exposes exactly the messages
+          of processes outside [D(i,r)] ([View.faulty view]): [j] is
+          readable iff [p_j ∉ D(i,r)].  Note the paper allows a process
           to appear in its own fault set, in which case it still knows its
-          own emitted message through its local state. *)
+          own emitted message through its local state.  The view is only
+          valid for the duration of the call — the executor reuses its
+          buffer; copy ([View.to_option_array]) to retain round data. *)
   decide : 'state -> 'out option;
       (** [Some v] once the process has irrevocably decided [v]. *)
 }

@@ -81,9 +81,10 @@ let simulate ~rng ~simulators ?(crashes = []) ~n ~k ~rounds ~algorithm () =
           if Pset.mem q receive_set then Some (emission_of local q r) else None)
     in
     let faulty = Pset.diff (Pset.full n) receive_set in
+    let view = View.of_option_array received ~faulty in
     (* cache j's own round-r emission before its state moves on *)
     ignore (emission_of local j r);
-    local.states.(j) <- algorithm.deliver local.states.(j) ~round:r ~received ~faulty;
+    local.states.(j) <- algorithm.deliver local.states.(j) ~round:r ~view;
     local.round_of.(j) <- r + 1
   in
   (* One atomic action for simulator s; false = nothing to do right now. *)

@@ -35,7 +35,8 @@ let recording d =
   let wrapped =
     make ~name:(d.name ^ "+recorded") (fun h ->
         let round = d.next h in
-        log := round :: !log;
+        (* Copy: generators may reuse their output array as scratch. *)
+        log := Array.copy round :: !log;
         round)
   in
   (wrapped, fun () -> List.rev !log)

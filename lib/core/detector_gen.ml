@@ -90,15 +90,22 @@ let iis rng ~n ~f =
 let k_set rng ~n ~k =
   if n < 1 || n > Pset.max_universe then invalid_arg "Detector_gen.k_set: bad n";
   if k < 1 || k > n then invalid_arg "Detector_gen.k_set: need 1 ≤ k ≤ n";
+  let full = Pset.full n in
+  (* Output scratch, reused across rounds: the executor copies fault sets
+     into the history before the next query, and recording detectors copy
+     (see Detector.recording), so nothing retains this array. *)
+  let out = Array.make n Pset.empty in
   Detector.make ~name:(Printf.sprintf "gen-kset(k=%d)" k) (fun _h ->
       let u_size = Rng.int_in_range rng ~min:0 ~max:(k - 1) in
-      let uncertainty = Pset.random_subset_of_size rng (Pset.full n) u_size in
-      let common_pool = Pset.diff (Pset.full n) uncertainty in
+      let uncertainty = Pset.random_subset_of_size rng full u_size in
+      let common_pool = Pset.diff full uncertainty in
       (* Keep every D(i) a proper subset of S. *)
       let common_limit = max 0 (n - u_size - 1) in
       let common = random_set_of_max_size rng common_pool common_limit in
-      Array.init n (fun _ ->
-          Pset.union common (Pset.random_subset rng uncertainty)))
+      for i = 0 to n - 1 do
+        out.(i) <- Pset.union common (Pset.random_subset rng uncertainty)
+      done;
+      out)
 
 let antisymmetric rng ~n ~f =
   check_nf ~n ~f;

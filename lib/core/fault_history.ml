@@ -1,66 +1,145 @@
-type t = {
-  n : int;
-  rounds : Pset.t array list; (* most recent round first *)
-  count : int;
+(* Flat preallocated row storage behind the persistent-looking API.
+
+   All rounds of a history family live in one [Pset.t array] of
+   [capacity * n] slots (row r at offset [(r-1) * n]), shared between a
+   history and every extension of it.  [append] on the tip (the history
+   whose [count] equals the backing's [used]) writes the next row in
+   place and shares the backing; appending to a proper prefix — the
+   rare, branching case — copies the prefix into a fresh backing first.
+   Growth is by doubling, so a sequence of appends is amortised O(1) and
+   an engine run that preallocates its horizon ({!create}) never grows
+   at all.  [Pset.t] values are immutable, so sharing rows is safe. *)
+
+type backing = {
+  mutable data : Pset.t array; (* capacity * n slots; rows 0..used-1 valid *)
+  mutable used : int; (* committed rows *)
 }
 
-let empty ~n =
+type t = {
+  n : int;
+  full : Pset.t; (* hoisted universe, used by every validation *)
+  backing : backing;
+  mutable count : int;
+      (* rounds visible through this handle; mutable only for
+         [append_in_place] (the engine's linear fast path) *)
+}
+
+let make ~n ~capacity =
   if n < 1 || n > Pset.max_universe then invalid_arg "Fault_history.empty: bad n";
-  { n; rounds = []; count = 0 }
+  if capacity < 0 then invalid_arg "Fault_history.create: negative capacity";
+  {
+    n;
+    full = Pset.full n;
+    backing = { data = Array.make (capacity * n) Pset.empty; used = 0 };
+    count = 0;
+  }
+
+let empty ~n = make ~n ~capacity:0
+
+let create ~n ~capacity = make ~n ~capacity
 
 let n h = h.n
 
 let rounds h = h.count
 
-let validate_round n d =
-  if Array.length d <> n then invalid_arg "Fault_history: wrong array length";
-  let universe = Pset.full n in
-  Array.iter
-    (fun s ->
-      if not (Pset.subset s universe) then
-        invalid_arg "Fault_history: fault set mentions process out of range")
-    d
+let validate_round h d =
+  if Array.length d <> h.n then invalid_arg "Fault_history: wrong array length";
+  for i = 0 to h.n - 1 do
+    if not (Pset.subset (Array.unsafe_get d i) h.full) then
+      invalid_arg "Fault_history: fault set mentions process out of range"
+  done
+
+(* Row capacity of a backing, in rounds. *)
+let cap_rows b ~n = Array.length b.data / n
+
+let ensure_row b ~n ~row =
+  if (row + 1) * n > Array.length b.data then begin
+    let rows = max 4 (max (row + 1) (2 * cap_rows b ~n)) in
+    let data = Array.make (rows * n) Pset.empty in
+    Array.blit b.data 0 data 0 (b.used * n);
+    b.data <- data
+  end
+
+let write_row b ~n ~row d =
+  ensure_row b ~n ~row;
+  Array.blit d 0 b.data (row * n) n
 
 let append h d =
-  validate_round h.n d;
-  { h with rounds = Array.copy d :: h.rounds; count = h.count + 1 }
+  validate_round h d;
+  if h.count = h.backing.used then begin
+    (* tip: extend the shared backing in place *)
+    write_row h.backing ~n:h.n ~row:h.count d;
+    h.backing.used <- h.count + 1;
+    { h with count = h.count + 1 }
+  end
+  else begin
+    (* branching off a proper prefix: copy-on-branch *)
+    let b = { data = Array.make ((h.count + 1) * h.n) Pset.empty; used = 0 } in
+    Array.blit h.backing.data 0 b.data 0 (h.count * h.n);
+    Array.blit d 0 b.data (h.count * h.n) h.n;
+    b.used <- h.count + 1;
+    { h with backing = b; count = h.count + 1 }
+  end
 
-let nth_round h round =
-  if round < 1 || round > h.count then invalid_arg "Fault_history: round out of range";
-  List.nth h.rounds (h.count - round)
+(* Engine-internal: append mutating [h] itself.  Only valid on the tip
+   of a backing this caller exclusively owns — exactly the executor's
+   linear use, where it makes the steady-state round allocation-free. *)
+let append_in_place h d =
+  validate_round h d;
+  if h.count <> h.backing.used then
+    invalid_arg "Fault_history.append_in_place: not the tip of its backing";
+  write_row h.backing ~n:h.n ~row:h.count d;
+  h.backing.used <- h.count + 1;
+  h.count <- h.count + 1;
+  h
 
-let round_sets h ~round = Array.copy (nth_round h round)
+let check_round h round =
+  if round < 1 || round > h.count then
+    invalid_arg "Fault_history: round out of range"
+
+let round_off h round = (round - 1) * h.n
+
+let round_sets h ~round =
+  check_round h round;
+  Array.sub h.backing.data (round_off h round) h.n
 
 let d h ~proc ~round =
   if proc < 0 || proc >= h.n then invalid_arg "Fault_history.d: proc out of range";
-  (nth_round h round).(proc)
+  check_round h round;
+  h.backing.data.(round_off h round + proc)
 
-let round_union h ~round =
-  Array.fold_left Pset.union Pset.empty (nth_round h round)
+let fold_round_slots f h ~round init =
+  check_round h round;
+  let off = round_off h round in
+  let acc = ref init in
+  for i = 0 to h.n - 1 do
+    acc := f !acc h.backing.data.(off + i)
+  done;
+  !acc
 
-let round_inter h ~round =
-  Array.fold_left Pset.inter (Pset.full h.n) (nth_round h round)
+let round_union h ~round = fold_round_slots Pset.union h ~round Pset.empty
+
+let round_inter h ~round = fold_round_slots Pset.inter h ~round h.full
 
 let fold_rounds f h init =
-  let indexed = List.rev h.rounds in
-  let _, acc =
-    List.fold_left (fun (r, acc) sets -> (r + 1, f r sets acc)) (1, init) indexed
-  in
-  acc
-
-let cumulative_union h =
-  fold_rounds
-    (fun _ sets acc -> Array.fold_left Pset.union acc sets)
-    h Pset.empty
+  let acc = ref init in
+  for r = 1 to h.count do
+    acc := f r (round_sets h ~round:r) !acc
+  done;
+  !acc
 
 let cumulative_union_upto h ~round =
-  fold_rounds
-    (fun r sets acc ->
-      if r <= round then Array.fold_left Pset.union acc sets else acc)
-    h Pset.empty
+  let upto = min round h.count in
+  let acc = ref Pset.empty in
+  for i = 0 to (upto * h.n) - 1 do
+    acc := Pset.union !acc h.backing.data.(i)
+  done;
+  !acc
+
+let cumulative_union h = cumulative_union_upto h ~round:h.count
 
 let of_rounds ~n l =
-  List.fold_left append (empty ~n) l
+  List.fold_left append (make ~n ~capacity:(List.length l)) l
 
 (* Pointwise union, padding the shorter history with empty rounds: the
    combined view "process j was bad toward i in round r in either
@@ -71,7 +150,7 @@ let union a b =
   if a.n <> b.n then invalid_arg "Fault_history.union: process counts differ";
   let rounds = max a.count b.count in
   let row h r =
-    if r <= h.count then nth_round h r else Array.make h.n Pset.empty
+    if r <= h.count then round_sets h ~round:r else Array.make h.n Pset.empty
   in
   of_rounds ~n:a.n
     (List.init rounds (fun i ->
@@ -80,13 +159,13 @@ let union a b =
 (* Rounds first-round-first, as fresh arrays — the raw material every
    surgery operation below rebuilds from (through [of_rounds], so each
    result is re-validated). *)
-let to_rounds h = List.rev_map Array.copy h.rounds
+let to_rounds h = List.init h.count (fun i -> round_sets h ~round:(i + 1))
 
 let update h ~round ~proc s =
   if proc < 0 || proc >= h.n then invalid_arg "Fault_history.update: proc out of range";
   if round < 1 || round > h.count then
     invalid_arg "Fault_history.update: round out of range";
-  if not (Pset.subset s (Pset.full h.n)) then
+  if not (Pset.subset s h.full) then
     invalid_arg "Fault_history.update: fault set mentions process out of range";
   of_rounds ~n:h.n
     (List.mapi
@@ -129,7 +208,13 @@ let remove_proc h ~proc =
 
 let equal a b =
   a.n = b.n && a.count = b.count
-  && List.for_all2 (fun ra rb -> Array.for_all2 Pset.equal ra rb) a.rounds b.rounds
+  &&
+  let slots = a.count * a.n in
+  let rec go i =
+    i >= slots
+    || (Pset.equal a.backing.data.(i) b.backing.data.(i) && go (i + 1))
+  in
+  go 0
 
 let to_string_compact h =
   let buffer = Buffer.create 64 in

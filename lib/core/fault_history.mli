@@ -16,6 +16,12 @@ val empty : n:int -> t
     system.
     @raise Invalid_argument if [n < 1] or [n > Pset.max_universe]. *)
 
+val create : n:int -> capacity:int -> t
+(** [empty ~n] with row storage preallocated for [capacity] rounds: the
+    first [capacity] {!append}s write into the preallocated arena and
+    never grow it.  Beyond that, storage doubles like {!empty}'s.
+    @raise Invalid_argument as {!empty}, or if [capacity < 0]. *)
+
 val n : t -> int
 (** Number of processes in the system. *)
 
@@ -27,6 +33,16 @@ val append : t -> Pset.t array -> t
     the fault set [d.(i)].
     @raise Invalid_argument if [Array.length d <> n h] or some [d.(i)]
     contains an id [>= n h]. *)
+
+val append_in_place : t -> Pset.t array -> t
+(** Executor-internal tip append: extends [t] {e itself} (the result is
+    physically [t]) instead of returning a fresh handle, making the
+    steady-state engine round allocation-free.  Only legal on a history
+    that is the tip of a backing its caller exclusively owns — i.e. no
+    other live handle shares the backing with an equal or greater round
+    count.  Everyone else wants {!append}.
+    @raise Invalid_argument as {!append}, or if [t] is not its backing's
+    tip. *)
 
 val d : t -> proc:Proc.t -> round:int -> Pset.t
 (** [d h ~proc:i ~round:r] is [D(i,r)].

@@ -75,12 +75,14 @@ let algorithm ~inputs =
       Initial (p, inputs.(p)));
     emit = (fun state ~round:_ -> state);
     deliver =
-      (fun state ~round ~received ~faulty ->
+      (fun state ~round ~view ->
         let me = owner state in
-        let heard = Array.copy received in
+        let heard = View.to_option_array view in
         (* Even when told faulty itself, a process knows its own round
            message through its local state (Sec. 1). *)
-        if heard.(me) = None then heard.(me) <- Some state;
-        Node { owner = me; round; heard; faulty });
+        (match heard.(me) with
+        | None -> heard.(me) <- Some state
+        | Some _ -> ());
+        Node { owner = me; round; heard; faulty = View.faulty view });
     decide = (fun state -> Some state);
   }

@@ -14,24 +14,15 @@ let one_round ~inputs =
         { me = p; input = inputs.(p); decision = None });
     emit = (fun s ~round:_ -> s.input);
     deliver =
-      (fun s ~round ~received ~faulty ->
+      (fun s ~round ~view ->
         if round > 1 || Option.is_some s.decision then s
         else begin
           (* Decide the value of the lowest-id process outside D(i,1).  The
-             engine guarantees D ≠ S, so a candidate exists; its message was
-             received unless it is this very process (own value is known
-             locally either way). *)
-          let n = Array.length received in
-          let candidates = Pset.diff (Pset.full n) faulty in
-          match Pset.min_elt candidates with
-          | None -> s
-          | Some j ->
-            let value =
-              match received.(j) with
-              | Some v -> v
-              | None -> if Proc.equal j s.me then s.input else assert false
-            in
-            { s with decision = Some value }
+             engine guarantees D ≠ S so a candidate exists; its slot is
+             readable by the delivery invariant ([lowest] keeps the test
+             allocation-free). *)
+          let j = Pset.lowest (View.heard view) in
+          if j < 0 then s else { s with decision = Some (View.get view j) }
         end);
     decide = (fun s -> s.decision);
   }

@@ -91,9 +91,9 @@ type state = {
   decision : int option;
 }
 
-let seen extract ~own ~me ~received ~faulty =
-  let items = Array.to_list received |> List.filter_map (Option.map extract) in
-  if Pset.mem me faulty then own :: items else items
+let seen extract ~own ~me ~view =
+  let items = List.rev (View.fold (fun _ m acc -> extract m :: acc) view []) in
+  if Pset.mem me (View.faulty view) then own :: items else items
 
 let algorithm ~inputs =
   {
@@ -120,19 +120,17 @@ let algorithm ~inputs =
           | Some vote -> Vote vote
           | None -> Value s.estimate));
     deliver =
-      (fun s ~round ~received ~faulty ->
+      (fun s ~round ~view ->
         match slot ~round with
         | 1 ->
           (* Theorem 3.1 choice: the estimate of the lowest-id unsuspected
              process. *)
-          let heard = Pset.diff (Pset.full s.n) faulty in
           let candidate =
-            match Pset.min_elt heard with
+            match Pset.min_elt (View.heard view) with
             | Some j -> (
-              match received.(j) with
-              | Some (Estimate v) -> v
-              | Some (Value _ | Vote _) -> assert false
-              | None -> s.estimate (* j = me, told late: own estimate *))
+              match View.get view j with
+              | Estimate v -> v
+              | Value _ | Vote _ -> assert false)
             | None -> s.estimate
           in
           { s with candidate = Some candidate }
@@ -141,7 +139,7 @@ let algorithm ~inputs =
           let values =
             seen
               (function Value v | Estimate v -> v | Vote _ -> assert false)
-              ~own ~me:s.me ~received ~faulty
+              ~own ~me:s.me ~view
           in
           { s with vote = Some (Ac.propose ~own ~seen:values) }
         | _ ->
@@ -154,7 +152,7 @@ let algorithm ~inputs =
               (function
                 | Vote v -> v
                 | Value v | Estimate v -> Ac.Adopt_vote v)
-              ~own:own_vote ~me:s.me ~received ~faulty
+              ~own:own_vote ~me:s.me ~view
           in
           let outcome = Ac.resolve ~own:own_candidate ~seen:votes in
           let estimate = Ac.value_of outcome in

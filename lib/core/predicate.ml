@@ -2,6 +2,11 @@ type t = {
   name : string;
   doc : string;
   explain : Fault_history.t -> string option;
+  incr : (Fault_history.t -> round:int -> string option) option;
+      (* Round-local re-check: equals [explain h] under the precondition
+         that [explain] returned [None] on every proper prefix of [h] and
+         [round = Fault_history.rounds h].  [None] means the predicate has
+         no cheap per-round form; callers fall back to [explain]. *)
 }
 
 let name p = p.name
@@ -12,7 +17,14 @@ let explain p h = p.explain h
 
 let holds p h = explain p h = None
 
-let make ~name ~doc explain = { name; doc; explain }
+(* What the executor calls after each round: sound whenever the history
+   grew one round at a time and no earlier call reported a violation —
+   exactly the engine's use.  Falls back to the full scan when the
+   predicate has no incremental form. *)
+let check_round p h ~round =
+  match p.incr with Some f -> f h ~round | None -> p.explain h
+
+let make ?incr ~name ~doc explain = { name; doc; explain; incr }
 
 let conj ?name:n2 a b =
   let name = match n2 with Some n -> n | None -> a.name ^ " ∧ " ^ b.name in
@@ -22,6 +34,14 @@ let conj ?name:n2 a b =
     explain =
       (fun h ->
         match a.explain h with Some e -> Some e | None -> b.explain h);
+    (* Both conjuncts were clean on every prefix whenever the conjunction
+       was, so each side's round check is individually sound. *)
+    incr =
+      Some
+        (fun h ~round ->
+          match check_round a h ~round with
+          | Some e -> Some e
+          | None -> check_round b h ~round);
   }
 
 let disj ?name:n2 a b =
@@ -34,42 +54,67 @@ let disj ?name:n2 a b =
         match a.explain h with
         | None -> None
         | Some e -> ( match b.explain h with None -> None | Some _ -> Some e));
+    (* A clean disjunction does not mean both disjuncts were clean, so a
+       per-round check of either side is unsound; re-scan. *)
+    incr = None;
   }
 
 let always =
   make ~name:"true" ~doc:"the unconstrained RRFD; every history is allowed"
     (fun _ -> None)
 
-(* Find the earliest (round, proc) violating [bad]; report via [msg]. *)
-let first_violation h bad msg =
-  let n = Fault_history.n h in
-  let rec scan_round r =
-    if r > Fault_history.rounds h then None
-    else
-      let rec scan_proc i =
-        if i >= n then scan_round (r + 1)
-        else if bad h r i then Some (msg h r i)
-        else scan_proc (i + 1)
-      in
-      scan_proc 0
+(* Earliest (round, proc) violating [bad], reported via [msg]; the
+   violation test only reads round [r], so checking just the newest round
+   is a sound incremental form. *)
+let per_proc ~name ~doc bad msg =
+  let at h ~round =
+    let n = Fault_history.n h in
+    let rec scan_proc i =
+      if i >= n then None
+      else if bad h round i then Some (msg h round i)
+      else scan_proc (i + 1)
+    in
+    scan_proc 0
   in
-  scan_round 1
+  {
+    name;
+    doc;
+    explain =
+      (fun h ->
+        let rec scan_round r =
+          if r > Fault_history.rounds h then None
+          else
+            match at h ~round:r with
+            | Some _ as e -> e
+            | None -> scan_round (r + 1)
+        in
+        scan_round 1);
+    incr = Some at;
+  }
 
-(* Per-round (not per-process) violations. *)
-let first_round_violation h bad msg =
-  let rec scan r =
-    if r > Fault_history.rounds h then None
-    else if bad h r then Some (msg h r)
-    else scan (r + 1)
-  in
-  scan 1
+(* Per-round (not per-process) violations, same incremental structure. *)
+let per_round ~name ~doc bad msg =
+  let at h ~round = if bad h round then Some (msg h round) else None in
+  {
+    name;
+    doc;
+    explain =
+      (fun h ->
+        let rec scan r =
+          if r > Fault_history.rounds h then None
+          else
+            match at h ~round:r with
+            | Some _ as e -> e
+            | None -> scan (r + 1)
+        in
+        scan 1);
+    incr = Some at;
+  }
 
 let no_self_suspicion =
-  make ~name:"no-self-suspicion" ~doc:"∀i,r. p_i ∉ D(i,r)"
-    (fun h ->
-      first_violation h
-        (fun h r i -> Pset.mem i (Fault_history.d h ~proc:i ~round:r))
-        (fun _ r i -> Printf.sprintf "p%d suspects itself at round %d" i r))
+  per_proc ~name:"no-self-suspicion" ~doc:"∀i,r. p_i ∉ D(i,r)"
+    (fun h r i -> Pset.mem i (Fault_history.d h ~proc:i ~round:r))
+    (fun _ r i -> Printf.sprintf "p%d suspects itself at round %d" i r)
 
 let bounded_cumulative_union ~bound ~strict =
   let op = if strict then "<" else "≤" in
@@ -93,29 +138,38 @@ let omission ~f =
     no_self_suspicion
     (bounded_cumulative_union ~bound:f ~strict:false)
 
+(* The closure test for one adjacent pair (r, r+1); [explain] scans all
+   pairs, the incremental form checks only the pair the new round
+   completed. *)
+let crash_closure_pair h r =
+  let union = Fault_history.round_union h ~round:r in
+  let n = Fault_history.n h in
+  let rec check k =
+    if k >= n then None
+    else
+      let next = Fault_history.d h ~proc:k ~round:(r + 1) in
+      (* A process never suspects itself under crash faults, so the
+         closure requirement exempts k's own id. *)
+      if Pset.subset (Pset.remove k union) next then check (k + 1)
+      else
+        Some
+          (Printf.sprintf "round-%d union %s not contained in D(%d,%d)=%s" r
+             (Pset.to_string union) k (r + 1) (Pset.to_string next))
+  in
+  check 0
+
 let crash_closure =
   make ~name:"crash-closure" ~doc:"∀r,k. ⋃_i D(i,r) ⊆ D(k,r+1)"
+    ~incr:(fun h ~round ->
+      if round < 2 then None else crash_closure_pair h (round - 1))
     (fun h ->
       let rounds = Fault_history.rounds h in
       let rec scan r =
         if r >= rounds then None
         else
-          let union = Fault_history.round_union h ~round:r in
-          let n = Fault_history.n h in
-          let rec check k =
-            if k >= n then scan (r + 1)
-            else
-              let next = Fault_history.d h ~proc:k ~round:(r + 1) in
-              (* A process never suspects itself under crash faults, so the
-                 closure requirement exempts k's own id. *)
-              if Pset.subset (Pset.remove k union) next then check (k + 1)
-              else
-                Some
-                  (Printf.sprintf
-                     "round-%d union %s not contained in D(%d,%d)=%s" r
-                     (Pset.to_string union) k (r + 1) (Pset.to_string next))
-          in
-          check 0
+          match crash_closure_pair h r with
+          | Some _ as e -> e
+          | None -> scan (r + 1)
       in
       scan 1)
 
@@ -123,47 +177,41 @@ let crash ~f =
   conj ~name:(Printf.sprintf "crash(f=%d)" f) (omission ~f) crash_closure
 
 let async_resilient ~f =
-  make
+  per_proc
     ~name:(Printf.sprintf "async(f=%d)" f)
     ~doc:(Printf.sprintf "∀r,i. |D(i,r)| ≤ %d" f)
-    (fun h ->
-      first_violation h
-        (fun h r i -> Pset.cardinal (Fault_history.d h ~proc:i ~round:r) > f)
-        (fun h r i ->
-          Printf.sprintf "|D(%d,%d)| = %d > %d" i r
-            (Pset.cardinal (Fault_history.d h ~proc:i ~round:r))
-            f))
+    (fun h r i -> Pset.cardinal (Fault_history.d h ~proc:i ~round:r) > f)
+    (fun h r i ->
+      Printf.sprintf "|D(%d,%d)| = %d > %d" i r
+        (Pset.cardinal (Fault_history.d h ~proc:i ~round:r))
+        f)
 
 let async_mixed ~f ~t =
-  make
+  per_round
     ~name:(Printf.sprintf "async-mixed(f=%d,t=%d)" f t)
     ~doc:
       (Printf.sprintf
          "∃Q, |Q| ≤ %d: processes outside Q miss ≤ %d, inside Q miss ≤ %d" t f
          t)
-    (fun h ->
-      first_round_violation h
-        (fun h r ->
-          (* The minimal witness Q is exactly the processes missing more
-             than f; the predicate holds iff that set is small enough and
-             none of its members misses more than t. *)
-          let n = Fault_history.n h in
-          let over = ref [] in
-          for i = 0 to n - 1 do
-            let size = Pset.cardinal (Fault_history.d h ~proc:i ~round:r) in
-            if size > f then over := (i, size) :: !over
-          done;
-          List.length !over > t || List.exists (fun (_, s) -> s > t) !over)
-        (fun _ r -> Printf.sprintf "no witness Q exists at round %d" r))
+    (fun h r ->
+      (* The minimal witness Q is exactly the processes missing more
+         than f; the predicate holds iff that set is small enough and
+         none of its members misses more than t. *)
+      let n = Fault_history.n h in
+      let over = ref [] in
+      for i = 0 to n - 1 do
+        let size = Pset.cardinal (Fault_history.d h ~proc:i ~round:r) in
+        if size > f then over := (i, size) :: !over
+      done;
+      List.length !over > t || List.exists (fun (_, s) -> s > t) !over)
+    (fun _ r -> Printf.sprintf "no witness Q exists at round %d" r)
 
 let someone_seen_by_all =
-  make ~name:"someone-seen-by-all" ~doc:"∀r. |⋃_i D(i,r)| < n"
-    (fun h ->
-      first_round_violation h
-        (fun h r ->
-          Pset.cardinal (Fault_history.round_union h ~round:r)
-          >= Fault_history.n h)
-        (fun _ r -> Printf.sprintf "round %d: every process is suspected by someone" r))
+  per_round ~name:"someone-seen-by-all" ~doc:"∀r. |⋃_i D(i,r)| < n"
+    (fun h r ->
+      Pset.cardinal (Fault_history.round_union h ~round:r)
+      >= Fault_history.n h)
+    (fun _ r -> Printf.sprintf "round %d: every process is suspected by someone" r)
 
 let shared_memory ~f =
   conj
@@ -171,24 +219,22 @@ let shared_memory ~f =
     (async_resilient ~f) someone_seen_by_all
 
 let antisymmetric_misses =
-  make ~name:"antisymmetric-misses" ~doc:"p_j ∈ D(i,r) ⇒ p_i ∉ D(j,r)"
-    (fun h ->
-      first_violation h
-        (fun h r i ->
-          let di = Fault_history.d h ~proc:i ~round:r in
-          Pset.exists
-            (fun j -> Pset.mem i (Fault_history.d h ~proc:j ~round:r))
-            di)
-        (fun h r i ->
-          let di = Fault_history.d h ~proc:i ~round:r in
-          let j =
-            Pset.to_list
-              (Pset.filter
-                 (fun j -> Pset.mem i (Fault_history.d h ~proc:j ~round:r))
-                 di)
-            |> List.hd
-          in
-          Printf.sprintf "round %d: p%d and p%d suspect each other" r i j))
+  per_proc ~name:"antisymmetric-misses" ~doc:"p_j ∈ D(i,r) ⇒ p_i ∉ D(j,r)"
+    (fun h r i ->
+      let di = Fault_history.d h ~proc:i ~round:r in
+      Pset.exists
+        (fun j -> Pset.mem i (Fault_history.d h ~proc:j ~round:r))
+        di)
+    (fun h r i ->
+      let di = Fault_history.d h ~proc:i ~round:r in
+      let j =
+        Pset.to_list
+          (Pset.filter
+             (fun j -> Pset.mem i (Fault_history.d h ~proc:j ~round:r))
+             di)
+        |> List.hd
+      in
+      Printf.sprintf "round %d: p%d and p%d suspect each other" r i j)
 
 let shared_memory_alt ~f =
   conj
@@ -196,22 +242,20 @@ let shared_memory_alt ~f =
     (shared_memory ~f) antisymmetric_misses
 
 let comparable_views =
-  make ~name:"comparable-views" ~doc:"∀r,i,j. D(i,r) ⊆ D(j,r) ∨ D(j,r) ⊆ D(i,r)"
-    (fun h ->
-      first_round_violation h
-        (fun h r ->
-          let n = Fault_history.n h in
-          let incomparable = ref false in
-          for i = 0 to n - 1 do
-            for j = i + 1 to n - 1 do
-              let di = Fault_history.d h ~proc:i ~round:r in
-              let dj = Fault_history.d h ~proc:j ~round:r in
-              if not (Pset.subset di dj || Pset.subset dj di) then
-                incomparable := true
-            done
-          done;
-          !incomparable)
-        (fun _ r -> Printf.sprintf "round %d has incomparable fault sets" r))
+  per_round ~name:"comparable-views" ~doc:"∀r,i,j. D(i,r) ⊆ D(j,r) ∨ D(j,r) ⊆ D(i,r)"
+    (fun h r ->
+      let n = Fault_history.n h in
+      let incomparable = ref false in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let di = Fault_history.d h ~proc:i ~round:r in
+          let dj = Fault_history.d h ~proc:j ~round:r in
+          if not (Pset.subset di dj || Pset.subset dj di) then
+            incomparable := true
+        done
+      done;
+      !incomparable)
+    (fun _ r -> Printf.sprintf "round %d has incomparable fault sets" r)
 
 let snapshot ~f =
   conj
@@ -227,50 +271,44 @@ let detector_s =
       else Some "every process is eventually suspected by someone")
 
 let k_set ~k =
-  make
+  per_round
     ~name:(Printf.sprintf "k-set(k=%d)" k)
     ~doc:(Printf.sprintf "∀r. |⋃_i D(i,r) − ⋂_i D(i,r)| < %d" k)
-    (fun h ->
-      first_round_violation h
-        (fun h r ->
-          let union = Fault_history.round_union h ~round:r in
-          let inter = Fault_history.round_inter h ~round:r in
-          Pset.cardinal (Pset.diff union inter) >= k)
-        (fun h r ->
-          let union = Fault_history.round_union h ~round:r in
-          let inter = Fault_history.round_inter h ~round:r in
-          Printf.sprintf "round %d: |∪D − ∩D| = %d ≥ %d" r
-            (Pset.cardinal (Pset.diff union inter))
-            k))
+    (fun h r ->
+      let union = Fault_history.round_union h ~round:r in
+      let inter = Fault_history.round_inter h ~round:r in
+      Pset.cardinal (Pset.diff union inter) >= k)
+    (fun h r ->
+      let union = Fault_history.round_union h ~round:r in
+      let inter = Fault_history.round_inter h ~round:r in
+      Printf.sprintf "round %d: |∪D − ∩D| = %d ≥ %d" r
+        (Pset.cardinal (Pset.diff union inter))
+        k)
 
 let identical_views =
-  make ~name:"identical-views" ~doc:"∀r,i,j. D(i,r) = D(j,r) (equation 5)"
-    (fun h ->
-      first_violation h
-        (fun h r i ->
-          i > 0
-          && not
-               (Pset.equal
-                  (Fault_history.d h ~proc:i ~round:r)
-                  (Fault_history.d h ~proc:0 ~round:r)))
-        (fun _ r i ->
-          Printf.sprintf "round %d: D(%d) differs from D(0)" r i))
+  per_proc ~name:"identical-views" ~doc:"∀r,i,j. D(i,r) = D(j,r) (equation 5)"
+    (fun h r i ->
+      i > 0
+      && not
+           (Pset.equal
+              (Fault_history.d h ~proc:i ~round:r)
+              (Fault_history.d h ~proc:0 ~round:r)))
+    (fun _ r i ->
+      Printf.sprintf "round %d: D(%d) differs from D(0)" r i)
 
 let byzantine_round_bound ~f =
-  make
+  per_round
     ~name:(Printf.sprintf "byz-round(f=%d)" f)
     ~doc:
       (Printf.sprintf
          "∀r. |⋃_i D(i,r)| ≤ %d — at most %d distinct processes behave \
           badly (silently or by lying) in any single round"
          f f)
-    (fun h ->
-      first_round_violation h
-        (fun h r -> Pset.cardinal (Fault_history.round_union h ~round:r) > f)
-        (fun h r ->
-          Printf.sprintf "round %d: %d processes misbehave, want ≤ %d" r
-            (Pset.cardinal (Fault_history.round_union h ~round:r))
-            f))
+    (fun h r -> Pset.cardinal (Fault_history.round_union h ~round:r) > f)
+    (fun h r ->
+      Printf.sprintf "round %d: %d processes misbehave, want ≤ %d" r
+        (Pset.cardinal (Fault_history.round_union h ~round:r))
+        f)
 
 (* A finite history can only witness "eventually" on a suffix, and the
    suffix union is monotone in its start round, so the weakest nonempty
@@ -314,11 +352,9 @@ let honest_kernel_start ~k h =
   if rounds = 0 then None else scan rounds Pset.empty
 
 let not_all_faulty =
-  make ~name:"not-all-faulty" ~doc:"∀i,r. D(i,r) ≠ S"
-    (fun h ->
-      first_violation h
-        (fun h r i ->
-          Pset.equal
-            (Fault_history.d h ~proc:i ~round:r)
-            (Pset.full (Fault_history.n h)))
-        (fun _ r i -> Printf.sprintf "D(%d,%d) is the whole system" i r))
+  per_proc ~name:"not-all-faulty" ~doc:"∀i,r. D(i,r) ≠ S"
+    (fun h r i ->
+      Pset.equal
+        (Fault_history.d h ~proc:i ~round:r)
+        (Pset.full (Fault_history.n h)))
+    (fun _ r i -> Printf.sprintf "D(%d,%d) is the whole system" i r)

@@ -24,8 +24,25 @@ val explain : t -> Fault_history.t -> string option
 (** [explain p h] is [None] when [holds p h], otherwise a human-readable
     description of the earliest violation. *)
 
-val make : name:string -> doc:string -> (Fault_history.t -> string option) -> t
-(** [make ~name ~doc explain] builds a predicate from a violation finder. *)
+val check_round : t -> Fault_history.t -> round:int -> string option
+(** [check_round p h ~round] re-checks [p] after [h] grew to [round]
+    rounds, using the predicate's round-local incremental form when it
+    has one and the full {!explain} scan otherwise.  Sound — identical
+    to [explain p h] — under the executor's calling convention: the
+    history grew one round at a time, [round = Fault_history.rounds h],
+    and every earlier call returned [None].  Outside that discipline use
+    {!explain}. *)
+
+val make :
+  ?incr:(Fault_history.t -> round:int -> string option) ->
+  name:string ->
+  doc:string ->
+  (Fault_history.t -> string option) ->
+  t
+(** [make ~name ~doc explain] builds a predicate from a violation finder.
+    [incr], when given, is the round-local form {!check_round} uses; it
+    must equal [explain] whenever [explain] was [None] on every proper
+    prefix (the {!check_round} precondition). *)
 
 val conj : ?name:string -> t -> t -> t
 (** Conjunction: both predicates must hold. *)

@@ -28,20 +28,20 @@ let small_universe = bits_per_word
    finite).  2^30 processes is far past any campaign we can run. *)
 let max_universe = 1 lsl 30
 
-let is_small (s : t) = Obj.is_int s
+let[@inline] is_small (s : t) = Obj.is_int s
 
-let of_small (x : int) : t = Obj.repr x
+let[@inline] of_small (x : int) : t = Obj.repr x
 
-let to_small (s : t) : int = Obj.obj s
+let[@inline] to_small (s : t) : int = Obj.obj s
 
-let of_words (a : int array) : t = Obj.repr a
+let[@inline] of_words (a : int array) : t = Obj.repr a
 
-let to_words (s : t) : int array = Obj.obj s
+let[@inline] to_words (s : t) : int array = Obj.obj s
 
-let nwords s = if is_small s then 1 else Array.length (to_words s)
+let[@inline] nwords s = if is_small s then 1 else Array.length (to_words s)
 
 (* Word [i] of either representation, 0 beyond the stored width. *)
-let word s i =
+let[@inline] word s i =
   if is_small s then if i = 0 then to_small s else 0
   else
     let a = to_words s in
@@ -87,7 +87,7 @@ let singleton p =
     of_words a
   end
 
-let add p s =
+let[@inline] add p s =
   check_id p;
   let w = p / bits_per_word and b = p mod bits_per_word in
   if is_small s && w = 0 then of_small (to_small s lor (1 lsl b))
@@ -114,7 +114,7 @@ let remove p s =
       norm a
     end
 
-let mem p s =
+let[@inline] mem p s =
   check_id p;
   if is_small s then p < bits_per_word && to_small s land (1 lsl p) <> 0
   else word s (p / bits_per_word) land (1 lsl (p mod bits_per_word)) <> 0
@@ -147,7 +147,7 @@ let of_list l =
    truncated to what fits an OCaml int; inputs never have bit 62 set, so
    the truncated first mask (0x5555.. with the two top bits dropped)
    still covers every bit position [x lsr 1] can occupy. *)
-let popcount x =
+let[@inline] popcount x =
   let x = x - ((x lsr 1) land 0x1555555555555555) in
   let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
   let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
@@ -155,7 +155,7 @@ let popcount x =
 
 (* Index of the lowest set bit of a nonzero word, popcount-style ctz:
    [x land -x] isolates the bit, minus one masks everything below it. *)
-let ctz x = popcount ((x land -x) - 1)
+let[@inline] ctz x = popcount ((x land -x) - 1)
 
 (* Index of the highest set bit of a nonzero word: smear the top bit
    down, then count. *)
@@ -168,13 +168,13 @@ let top_index x =
   let x = x lor (x lsr 32) in
   popcount x - 1
 
-let cardinal s =
+let[@inline] cardinal s =
   if is_small s then popcount (to_small s)
   else Array.fold_left (fun acc w -> acc + popcount w) 0 (to_words s)
 
-let is_empty s = is_small s && to_small s = 0
+let[@inline] is_empty s = is_small s && to_small s = 0
 
-let union a b =
+let[@inline] union a b =
   if is_small a && is_small b then of_small (to_small a lor to_small b)
   else begin
     let k = if nwords a > nwords b then nwords a else nwords b in
@@ -189,13 +189,13 @@ let inter a b =
     norm (Array.init k (fun i -> word a i land word b i))
   end
 
-let diff a b =
+let[@inline] diff a b =
   (* A word holds only bits 0..61, so [land lnot] cannot introduce high
      bits: the result stays a valid 62-bit word. *)
   if is_small a then of_small (to_small a land lnot (word b 0))
   else norm (Array.mapi (fun i w -> w land lnot (word b i)) (to_words a))
 
-let subset a b =
+let[@inline] subset a b =
   if is_small a then to_small a land lnot (word b 0) = 0
   else begin
     let aw = to_words a in
@@ -205,7 +205,7 @@ let subset a b =
     go 0
   end
 
-let equal a b =
+let[@inline] equal a b =
   if is_small a then is_small b && to_small a = to_small b
   else if is_small b then false
   else begin
@@ -302,6 +302,8 @@ let filter f s =
 
 let min_elt s = if is_empty s then None else Some (lowest_index s)
 
+let[@inline] lowest s = if is_empty s then -1 else lowest_index s
+
 let max_elt s =
   if is_empty s then None
   else if is_small s then Some (top_index (to_small s))
@@ -335,15 +337,77 @@ let choose_nth s i =
     go 0 i
   end
 
-let random_subset rng s = filter (fun _ -> Dsim.Rng.bool rng) s
+(* One [Rng.bool] per member in ascending order.  The small-set fast
+   path walks the word directly — bit-identical draw consumption to the
+   [filter] spelling, without the closure and set-rebuild machinery. *)
+let random_subset rng s =
+  if is_small s then begin
+    let w = ref (to_small s) in
+    let out = ref 0 in
+    while !w <> 0 do
+      let bit = !w land - !w in
+      if Dsim.Rng.bool rng then out := !out lor bit;
+      w := !w land (!w - 1)
+    done;
+    of_small !out
+  end
+  else filter (fun _ -> Dsim.Rng.bool rng) s
 
 let random_subset_of_size rng s k =
   let size = cardinal s in
   if k < 0 || k > size then
     invalid_arg
       (Printf.sprintf "Pset.random_subset_of_size: k %d out of [0,%d]" k size);
-  let indices = Dsim.Rng.sample_without_replacement rng k size in
-  List.fold_left (fun acc i -> add (choose_nth s i) acc) empty indices
+  (* Knuth selection sampling (algorithm S) inlined over the member rank,
+     drawing exactly as [Rng.sample_without_replacement rng k size] would
+     — same draws in the same order — but folding the chosen members
+     straight into the set instead of materialising an index list.  The
+     small-set path walks the word's bits ascending in one pass instead
+     of rank-scanning with [choose_nth] per pick. *)
+  if is_small s then begin
+    let w = ref (to_small s) in
+    let out = ref 0 in
+    let remaining = ref k in
+    let i = ref 0 in
+    while !remaining > 0 do
+      if size - !i = !remaining then begin
+        (* Take every member not yet examined; no draws. *)
+        out := !out lor !w;
+        remaining := 0
+      end
+      else begin
+        let bit = !w land - !w in
+        if Dsim.Rng.int rng (size - !i) < !remaining then begin
+          out := !out lor bit;
+          decr remaining
+        end;
+        w := !w land (!w - 1);
+        incr i
+      end
+    done;
+    of_small !out
+  end
+  else begin
+    let acc = ref empty in
+    let remaining = ref k in
+    let i = ref 0 in
+    while !remaining > 0 do
+      if size - !i = !remaining then begin
+        for j = !i to size - 1 do
+          acc := add (choose_nth s j) !acc
+        done;
+        remaining := 0
+      end
+      else begin
+        if Dsim.Rng.int rng (size - !i) < !remaining then begin
+          acc := add (choose_nth s !i) !acc;
+          decr remaining
+        end;
+        incr i
+      end
+    done;
+    !acc
+  end
 
 let subsets s =
   let elements = to_list s in

@@ -87,6 +87,11 @@ val min_elt : t -> Proc.t option
 (** The least identifier in the set, if any (constant-time ctz per
     word). *)
 
+val lowest : t -> int
+(** Allocation-free {!min_elt}: the least identifier, or [-1] when the
+    set is empty.  For per-delivery hot paths that cannot afford the
+    option box. *)
+
 val max_elt : t -> Proc.t option
 
 val choose_nth : t -> int -> Proc.t

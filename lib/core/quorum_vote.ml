@@ -18,22 +18,22 @@ let pp_msg ppf = function
 let quorum_of state = Option.map snd state.decided
 
 (* Find a value carried by at least [threshold] distinct senders.  Votes
-   are keyed by sender position in [received], so duplicated deliveries
+   are keyed by sender position in the view, so duplicated deliveries
    can never inflate a quorum — the same discipline Ct_consensus uses. *)
-let scan_quorum ~threshold received =
+let scan_quorum ~threshold view =
   let tally = ref [] in
-  Array.iteri
+  View.iter
     (fun sender m ->
       match m with
-      | Some (Vote v) ->
+      | Vote v ->
           let senders =
             match List.assoc_opt v !tally with
             | Some s -> s
             | None -> Pset.empty
           in
           tally := (v, Pset.add sender senders) :: List.remove_assoc v !tally
-      | Some (Cert _) | Some Idle | None -> ())
-    received;
+      | Cert _ | Idle -> ())
+    view;
   List.find_opt (fun (_, s) -> Pset.cardinal s >= threshold) !tally
 
 let algorithm ~inputs ~f =
@@ -51,7 +51,7 @@ let algorithm ~inputs ~f =
           | Some (v, quorum) -> Cert { v; quorum }
           | None -> Idle);
     deliver =
-      (fun s ~round ~received ~faulty:_ ->
+      (fun s ~round ~view ->
         (* Only the vote round moves the state: certificates are gossip
            for the auditor, never a second chance to decide — a decision
            must rest on a directly observed vote quorum, which is what
@@ -59,7 +59,7 @@ let algorithm ~inputs ~f =
            injectable (a forged certificate convincing a bystander). *)
         if round <> 1 || s.decided <> None then s
         else
-          match scan_quorum ~threshold:s.threshold received with
+          match scan_quorum ~threshold:s.threshold view with
           | Some (v, senders) -> { s with decided = Some (v, senders) }
           | None -> s);
     decide = (fun s -> Option.map fst s.decided);

@@ -45,23 +45,23 @@ let dummy_vote = { vote = Adopt_commit.Adopt_vote Faulty; witness = None }
 
 (* Messages actually received this round, plus the process's own (known
    through local state even when it is told it was late). *)
-let seen_messages ~me ~own received faulty =
-  let items = Array.to_list received |> List.filter_map Fun.id in
-  if Pset.mem me faulty then own :: items else items
+let seen_messages ~me ~own view =
+  let items = List.rev (View.fold (fun _ m acc -> m :: acc) view []) in
+  if Pset.mem me (View.faulty view) then own :: items else items
 
 let alive_value = function Alive v -> Some v | Faulty -> None
 
 let algorithm ~sync =
   let open Algorithm in
-  let deliver_phase1 s ~received ~faulty =
+  let deliver_phase1 s ~view =
     let values =
       Array.map
         (Option.map (function Write v -> v | Proposals _ | Votes _ -> assert false))
-        received
+        (View.to_option_array view)
     in
     if Option.is_none values.(s.me) then
       values.(s.me) <- Some (sync.emit s.sync_state ~round:s.sync_round);
-    let failed = Pset.union s.failed (Pset.remove s.me faulty) in
+    let failed = Pset.union s.failed (Pset.remove s.me (View.faulty view)) in
     let my_proposals =
       Array.init s.n (fun j ->
           if Pset.mem j failed then Faulty
@@ -72,9 +72,9 @@ let algorithm ~sync =
     in
     { s with failed; phase1_values = values; my_proposals }
   in
-  let deliver_phase2 s ~received ~faulty =
+  let deliver_phase2 s ~view =
     let arrays =
-      seen_messages ~me:s.me ~own:(Proposals s.my_proposals) received faulty
+      seen_messages ~me:s.me ~own:(Proposals s.my_proposals) view
       |> List.map (function Proposals a -> a | Write _ | Votes _ -> assert false)
     in
     let my_votes =
@@ -86,9 +86,9 @@ let algorithm ~sync =
     in
     { s with my_votes }
   in
-  let deliver_phase3 s ~received ~faulty =
+  let deliver_phase3 s ~view =
     let arrays =
-      seen_messages ~me:s.me ~own:(Votes s.my_votes) received faulty
+      seen_messages ~me:s.me ~own:(Votes s.my_votes) view
       |> List.map (function Votes a -> a | Write _ | Proposals _ -> assert false)
     in
     let committed_now = ref Pset.empty in
@@ -118,9 +118,11 @@ let algorithm ~sync =
               committed_now := Pset.add j !committed_now;
               None))
     in
+    (* [round_values.(j)] is [None] exactly when [j] was committed faulty
+       this simulated round, so the compat constructor's invariant holds. *)
+    let sync_view = View.of_option_array round_values ~faulty:!committed_now in
     let sync_state =
-      sync.deliver s.sync_state ~round:s.sync_round ~received:round_values
-        ~faulty:!committed_now
+      sync.deliver s.sync_state ~round:s.sync_round ~view:sync_view
     in
     {
       s with
@@ -156,11 +158,11 @@ let algorithm ~sync =
         | 2 -> Proposals s.my_proposals
         | _ -> Votes s.my_votes);
     deliver =
-      (fun s ~round ~received ~faulty ->
+      (fun s ~round ~view ->
         match phase ~round with
-        | 1 -> deliver_phase1 s ~received ~faulty
-        | 2 -> deliver_phase2 s ~received ~faulty
-        | _ -> deliver_phase3 s ~received ~faulty);
+        | 1 -> deliver_phase1 s ~view
+        | 2 -> deliver_phase2 s ~view
+        | _ -> deliver_phase3 s ~view);
     decide = (fun s -> if s.self_crashed then None else sync.decide s.sync_state);
   }
 

@@ -22,19 +22,15 @@ let record ~n ?max_rounds ?check ?stop_when_decided ~pp_msg ~algorithm
   let history = outcome.Engine.history in
   let states = Array.init n (fun i -> algorithm.Algorithm.init ~n i) in
   let decided = Array.make n false in
+  let view = View.create ~n in
   let rounds = ref [] in
   for round = 1 to Fault_history.rounds history do
     let fault_sets = Fault_history.round_sets history ~round in
     let emitted = Array.map (fun s -> algorithm.Algorithm.emit s ~round) states in
     let emissions = Array.map (fun m -> Format.asprintf "%a" pp_msg m) emitted in
     for i = 0 to n - 1 do
-      let faulty = fault_sets.(i) in
-      let received =
-        Array.init n (fun j ->
-            if Pset.mem j faulty then None else Some emitted.(j))
-      in
-      states.(i) <-
-        algorithm.Algorithm.deliver states.(i) ~round ~received ~faulty
+      View.set view ~msgs:emitted ~faulty:fault_sets.(i);
+      states.(i) <- algorithm.Algorithm.deliver states.(i) ~round ~view
     done;
     let new_decisions = ref [] in
     for i = n - 1 downto 0 do

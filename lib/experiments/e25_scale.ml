@@ -377,15 +377,22 @@ let subjects_of measurements =
       let name unit =
         Printf.sprintf "rrfd/scale:%s n=%d [%s]" m.m_probe m.m_n unit
       in
+      (* whole-run probes are too coarse for an allocation estimate *)
       [
-        { Report.name = name "ns/run"; ns_per_run = m.m_ns_per_run };
+        {
+          Report.name = name "ns/run";
+          ns_per_run = m.m_ns_per_run;
+          alloc_per_run = None;
+        };
         {
           Report.name = name "ns/round";
           ns_per_run = m.m_ns_per_run /. m.m_rounds_per_run;
+          alloc_per_run = None;
         };
         {
           Report.name = name "ns/msg";
           ns_per_run = m.m_ns_per_run /. m.m_msgs_per_run;
+          alloc_per_run = None;
         };
       ])
     measurements

@@ -112,9 +112,10 @@ let run ?(patience = Patience.Wait_quorum) ~n ~f ~rounds ~algorithm () =
         let heard = Rrfd.Pset.filter (fun j -> Option.is_some b.(j)) full in
         heard_logs.(i) <- heard :: heard_logs.(i);
         Hashtbl.remove buffers round;
-        state :=
-          algorithm.Rrfd.Algorithm.deliver !state ~round ~received:b
-            ~faulty:(Rrfd.Pset.diff full heard);
+        let view =
+          Rrfd.View.of_option_array b ~faulty:(Rrfd.Pset.diff full heard)
+        in
+        state := algorithm.Rrfd.Algorithm.deliver !state ~round ~view;
         completed.(i) <- round;
         if Option.is_none decisions.(i) then begin
           match algorithm.Rrfd.Algorithm.decide !state with

@@ -22,21 +22,37 @@ type 'out result = {
    after healing.  Only [`Retry] triggers help — help answering help
    would ping-pong forever between two finished processes. *)
 
+(* A round buffer: who has been heard from ([got]) plus their payloads.
+   [msgs] is sized lazily from the first payload (there is no dummy 'm);
+   slots outside [got] hold stale junk the view never exposes. *)
+type 'm buf = {
+  mutable msgs : 'm array;
+  mutable got : Pset.t;
+}
+
 type ('s, 'm) proc = {
   mutable state : 's;
   mutable current_round : int; (* round currently being collected *)
-  buffers : (int, 'm option array) Hashtbl.t;
+  buffers : (int, 'm buf) Hashtbl.t;
   emitted : (int, 'm) Hashtbl.t; (* own emissions, kept for repair *)
   mutable done_ : bool;
 }
 
-let buffer_for proc ~n round =
+let buffer_for proc round =
   match Hashtbl.find_opt proc.buffers round with
   | Some b -> b
   | None ->
-    let b = Array.make n None in
+    let b = { msgs = [||]; got = Pset.empty } in
     Hashtbl.replace proc.buffers round b;
     b
+
+(* Idempotent per (sender, round): duplicates overwrite with the same
+   payload, and tampered payloads keep only the latest delivery — exactly
+   the [buffer.(from) <- Some msg] semantics this replaces. *)
+let store b ~n ~from msg =
+  if Array.length b.msgs = 0 then b.msgs <- Array.make n msg
+  else b.msgs.(from) <- msg;
+  b.got <- Pset.add from b.got
 
 let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?adversary
     ?retransmit_every ?(horizon = 600.0) ~n ~f ~rounds ~algorithm () =
@@ -87,13 +103,15 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?adversary
         if lie && stale <> msg then Some (round, stale, kind) else None
   in
   let tamper = if Pset.is_empty byz then None else Some tamper in
+  let full = Pset.full n in
+  let view = Rrfd.View.create ~n in
   let emit_round i round =
     let msg = algorithm.emit procs.(i).state ~round in
     Hashtbl.replace procs.(i).emitted round msg;
     (* Own emissions are delivered locally at emission time: a process
        always hears itself, so i ∉ D(i,r) by construction and the
        adversary cannot fabricate self-suspicion. *)
-    (buffer_for procs.(i) ~n round).(i) <- Some msg;
+    store (buffer_for procs.(i) round) ~n ~from:i msg;
     Network.broadcast (net ()) ~from:i ~self:false (round, msg, `Fresh);
     (* A forging sender also injects round-[r+1] messages it was never
        asked to send — its current payload under a future round tag. *)
@@ -107,18 +125,13 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?adversary
     let proc = procs.(i) in
     if not proc.done_ then begin
       let round = proc.current_round in
-      let buffer = buffer_for proc ~n round in
-      let received_count =
-        Array.fold_left (fun c m -> if Option.is_some m then c + 1 else c) 0 buffer
-      in
-      if received_count >= n - f then begin
-        let faulty =
-          Pset.filter (fun j -> Option.is_none buffer.(j)) (Pset.full n)
-        in
-        proc.state <-
-          algorithm.deliver proc.state ~round ~received:(Array.copy buffer)
-            ~faulty;
-        let heard = Pset.diff (Pset.full n) faulty in
+      let buffer = buffer_for proc round in
+      if Pset.cardinal buffer.got >= n - f then begin
+        let heard = buffer.got in
+        let faulty = Pset.diff full heard in
+        (* n - f ≥ 1 senders heard, so [buffer.msgs] is sized. *)
+        Rrfd.View.set view ~msgs:buffer.msgs ~faulty;
+        proc.state <- algorithm.deliver proc.state ~round ~view;
         (* "Lied to i": the final buffered content differs from the
            sender's canonical cached emission for this round (or the
            sender never canonically emitted it — a forged future-round
@@ -132,12 +145,9 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?adversary
           else
             Pset.filter
               (fun j ->
-                match buffer.(j) with
-                | None -> false
-                | Some m -> (
-                    match Hashtbl.find_opt procs.(j).emitted round with
-                    | Some canonical -> m <> canonical
-                    | None -> true))
+                match Hashtbl.find_opt procs.(j).emitted round with
+                | Some canonical -> buffer.msgs.(j) <> canonical
+                | None -> true)
               heard
         in
         Heard_of.note heard_rec i ~round ~lied ~heard ();
@@ -162,9 +172,7 @@ let run ?(seed = 0) ?min_delay ?max_delay ?(crashes = []) ?adversary
   let deliver _sim ~to_ ~from (round, msg, kind) =
     let proc = procs.(to_) in
     if round >= proc.current_round && not proc.done_ then begin
-      let buffer = buffer_for proc ~n round in
-      (* Duplicates are idempotent: one payload per (sender, round). *)
-      buffer.(from) <- Some msg;
+      store (buffer_for proc round) ~n ~from msg;
       if round = proc.current_round then try_complete to_
     end
     else if kind = `Retry && repair_every <> None then

@@ -1,6 +1,6 @@
 module Json = Json
 
-let version = 1
+let version = 2
 
 type stat = {
   count : int;
@@ -10,7 +10,11 @@ type stat = {
   max : float;
 }
 
-type subject = { name : string; ns_per_run : float }
+type subject = {
+  name : string;
+  ns_per_run : float;
+  alloc_per_run : float option;
+}
 
 type table = {
   id : string;
@@ -68,7 +72,11 @@ let json_of_stat s =
 
 let json_of_subject s =
   Json.Obj
-    [ ("name", Json.String s.name); ("ns_per_run", Json.Number s.ns_per_run) ]
+    ([ ("name", Json.String s.name); ("ns_per_run", Json.Number s.ns_per_run) ]
+    @
+    match s.alloc_per_run with
+    | None -> []
+    | Some w -> [ ("alloc_per_run", Json.Number w) ])
 
 let json_of_table t =
   Json.Obj
@@ -127,6 +135,11 @@ let subject_of_json j =
   {
     name = Json.str (Json.member "name" j);
     ns_per_run = Json.num (Json.member "ns_per_run" j);
+    alloc_per_run =
+      (* absent in v1 reports and in v2 subjects without a sample *)
+      (match Json.member "alloc_per_run" j with
+      | Json.Null -> None
+      | w -> Some (Json.num w));
   }
 
 let table_of_json j =
@@ -151,10 +164,12 @@ let speedup_of_json j =
 
 let of_json j =
   let v = Json.int (Json.member "version" j) in
-  if v <> version then
+  (* v1 decodes tolerantly: it is v2 minus the per-subject allocation
+     field, so old baselines stay comparable across the schema bump. *)
+  if v < 1 || v > version then
     raise
       (Json.Error
-         (Printf.sprintf "report: unsupported schema version %d (want %d)" v
+         (Printf.sprintf "report: unsupported schema version %d (want 1..%d)" v
             version));
   let m = Json.member "meta" j in
   {

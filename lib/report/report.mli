@@ -11,9 +11,9 @@
     Schema (version {!version}) — see README.md for the field-by-field
     description:
     {v
-    { "version": 1,
+    { "version": 2,
       "meta": { "seed", "jobs", "git_sha", "hostname" },
-      "subjects": [ { "name", "ns_per_run" } ],
+      "subjects": [ { "name", "ns_per_run", "alloc_per_run"? } ],
       "tables": [ { "id", "title", "ok",
                     "counters": { <label>: { "count", "mean", "stddev",
                                              "min", "max" } } } ],
@@ -24,7 +24,9 @@
 module Json = Json
 
 val version : int
-(** Current schema version (1).  {!of_json} refuses other versions. *)
+(** Current schema version (2).  {!of_json} also accepts version 1 —
+    v2 is v1 plus the optional per-subject [alloc_per_run] — and refuses
+    anything else. *)
 
 type stat = {
   count : int;
@@ -39,6 +41,12 @@ type stat = {
 type subject = {
   name : string;  (** e.g. ["rrfd/kset-one-round n=8"]. *)
   ns_per_run : float;  (** OLS estimate; [nan] when bechamel had none. *)
+  alloc_per_run : float option;
+      (** Minor-heap words allocated per run ([Gc.minor_words] delta over
+          a counted loop), when the run sampled it.  [None] in v1 reports
+          and for subjects the run did not instrument.  Informational —
+          the regression gate is on time; the hard allocation gate is the
+          [@alloc-smoke] alias. *)
 }
 
 type table = {

@@ -34,6 +34,16 @@ struct
     if n_procs < 1 then invalid_arg "Exec.run: need at least one process";
     let memory : V.t option array = Array.make n_locs None in
     let pending : blocked option array = Array.make n_procs None in
+    (* Cached count of pending fibers: the scheduler's hot loop never
+       rebuilds a ready list, it draws an index below [nready] and scans
+       [pending] for the index-th ready process in ascending order —
+       exactly the element [Rng.choose] would have picked from the old
+       ascending ready list, so seeded schedules are unchanged. *)
+    let nready = ref 0 in
+    let post p op =
+      (match pending.(p) with None -> incr nready | Some _ -> ());
+      pending.(p) <- Some op
+    in
     let steps_per_process = Array.make n_procs 0 in
     let killed_flags = Array.make n_procs false in
     let limit p =
@@ -55,23 +65,30 @@ struct
               | Read loc ->
                 Some
                   (fun (k : (a, unit) continuation) ->
-                    pending.(proc) <- Some (On_read (loc, k)))
+                    post proc (On_read (loc, k)))
               | Write (loc, v) ->
                 Some
                   (fun (k : (a, unit) continuation) ->
-                    pending.(proc) <- Some (On_write (loc, v, k)))
+                    post proc (On_write (loc, v, k)))
               | _ -> None);
         }
     in
     for p = 0 to n_procs - 1 do
       start p
     done;
-    let runnable () =
-      let ready = ref [] in
-      for p = n_procs - 1 downto 0 do
-        if Option.is_some pending.(p) then ready := p :: !ready
+    (* The [idx]-th ready process in ascending order, 0 ≤ idx < !nready. *)
+    let nth_ready idx =
+      let seen = ref (-1) in
+      let proc = ref (-1) in
+      let p = ref 0 in
+      while !proc < 0 do
+        if Option.is_some pending.(!p) then begin
+          incr seen;
+          if !seen = idx then proc := !p
+        end;
+        incr p
       done;
-      !ready
+      !proc
     in
     let check_owner proc loc =
       match enforce_swmr with
@@ -87,6 +104,7 @@ struct
       | None -> assert false
       | Some op ->
         pending.(proc) <- None;
+        decr nready;
         (match limit proc with
         | Some k when steps_per_process.(proc) >= k ->
           (* Crash: the operation never executes; the fiber is abandoned. *)
@@ -106,26 +124,27 @@ struct
           continue k ())
     in
     let rec drive ~rr_next ~script =
-      match runnable () with
-      | [] -> ()
-      | ready ->
+      if !nready = 0 then ()
+      else begin
         let pick_round_robin () =
           let rec find i =
             let candidate = (rr_next + i) mod n_procs in
-            if List.mem candidate ready then candidate else find (i + 1)
+            if Option.is_some pending.(candidate) then candidate
+            else find (i + 1)
           in
           find 0
         in
         let proc, script =
           match (schedule, script) with
           | Round_robin, _ -> (pick_round_robin (), script)
-          | Random rng, _ -> (Dsim.Rng.choose rng ready, script)
-          | Fixed _, p :: rest when List.mem p ready -> (p, rest)
+          | Random rng, _ -> (nth_ready (Dsim.Rng.int rng !nready), script)
+          | Fixed _, p :: rest when Option.is_some pending.(p) -> (p, rest)
           | Fixed _, _ :: rest -> (pick_round_robin (), rest)
           | Fixed _, [] -> (pick_round_robin (), [])
         in
         (try execute proc with Exit -> ());
         drive ~rr_next:((proc + 1) mod n_procs) ~script
+      end
     in
     let script = match schedule with Fixed s -> s | Round_robin | Random _ -> [] in
     drive ~rr_next:0 ~script;

@@ -22,14 +22,11 @@ let algorithm ~inputs ~f =
         { known = [ inputs.(p) ]; heard = []; f; decision = None });
     emit = (fun s ~round:_ -> s.known);
     deliver =
-      (fun s ~round ~received ~faulty ->
-        let n = Array.length received in
+      (fun s ~round ~view ->
         let known =
-          Array.fold_left
-            (fun acc m -> match m with Some vs -> merge acc vs | None -> acc)
-            s.known received
+          Rrfd.View.fold (fun _ vs acc -> merge acc vs) view s.known
         in
-        let heard_now = Pset.diff (Pset.full n) faulty in
+        let heard_now = Rrfd.View.heard view in
         let clean =
           match s.heard with
           | previous :: _ -> Pset.equal previous heard_now

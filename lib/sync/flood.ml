@@ -19,11 +19,9 @@ let min_flood ~inputs ~horizon =
         { known = [ inputs.(p) ]; horizon; decision = None });
     emit = (fun s ~round:_ -> s.known);
     deliver =
-      (fun s ~round ~received ~faulty:_ ->
+      (fun s ~round ~view ->
         let known =
-          Array.fold_left
-            (fun acc m -> match m with Some vs -> merge acc vs | None -> acc)
-            s.known received
+          Rrfd.View.fold (fun _ vs acc -> merge acc vs) view s.known
         in
         let decision =
           if round >= s.horizon && Option.is_none s.decision then

@@ -28,6 +28,8 @@ let run ~n ~rounds ~pattern ~algorithm ?check ?(stop_when_decided = true) () =
             decision_rounds.(i) <- Some round)
       alive
   in
+  let view = Rrfd.View.create ~n in
+  let msgs = ref [||] in
   let rec loop round history counters violation =
     let alive = Pset.diff all (Faults.crashed_before pattern ~round) in
     let done_ =
@@ -46,10 +48,27 @@ let run ~n ~rounds ~pattern ~algorithm ?check ?(stop_when_decided = true) () =
         violation;
       }
     else begin
-      let emitted =
-        Array.init n (fun i ->
-            if Pset.mem i alive then Some (algorithm.emit states.(i) ~round)
-            else None)
+      (* Emissions go into a reusable buffer; slots of crashed processes
+         keep stale contents, but a dead sender is in every live
+         receiver's fault set, so the view never reads them. *)
+      let buf =
+        if Array.length !msgs = n then begin
+          let b = !msgs in
+          Pset.iter (fun i -> b.(i) <- algorithm.emit states.(i) ~round) alive;
+          b
+        end
+        else
+          match Pset.min_elt alive with
+          | None -> [||] (* nobody alive: nobody delivers either *)
+          | Some i0 ->
+            let b = Array.make n (algorithm.emit states.(i0) ~round) in
+            Pset.iter
+              (fun i ->
+                if not (Rrfd.Proc.equal i i0) then
+                  b.(i) <- algorithm.emit states.(i) ~round)
+              alive;
+            msgs := b;
+            b
       in
       let fault_sets =
         Array.init n (fun i ->
@@ -67,12 +86,9 @@ let run ~n ~rounds ~pattern ~algorithm ?check ?(stop_when_decided = true) () =
         (fun i ->
           let faulty = fault_sets.(i) in
           delivered := !delivered + (n - Pset.cardinal faulty);
-          let received =
-            Array.init n (fun j ->
-                if Pset.mem j faulty then None else emitted.(j))
-          in
-          (* A process's own slot is always filled: it knows its message. *)
-          states.(i) <- algorithm.deliver states.(i) ~round ~received ~faulty)
+          (* A process's own slot is always readable: i ∉ D(i,r) here. *)
+          Rrfd.View.set view ~msgs:buf ~faulty;
+          states.(i) <- algorithm.deliver states.(i) ~round ~view)
         alive;
       record_decisions round alive;
       let counters =
@@ -93,7 +109,8 @@ let run ~n ~rounds ~pattern ~algorithm ?check ?(stop_when_decided = true) () =
         match violation with
         | Some _ -> violation
         | None ->
-          Option.bind check (fun p -> Rrfd.Predicate.explain p history)
+          Option.bind check (fun p ->
+              Rrfd.Predicate.check_round p history ~round)
       in
       loop (round + 1) history counters violation
     end

@@ -1,0 +1,1 @@
+let () = print_string (Test_support.Compat_fixture.render ())

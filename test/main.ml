@@ -7,6 +7,8 @@ let () =
       ("prefix-closure", Test_prefix_closure.tests);
       ("detector-gen", Test_detector_gen.tests);
       ("engine+kset", Test_engine_kset.tests);
+      ("engine-compat", Test_engine_compat.tests);
+      ("fault-history-model", Test_fault_history_model.tests);
       ("adopt-commit", Test_adopt_commit.tests);
       ("simulations", Test_simulations.tests);
       ("syncnet", Test_syncnet.tests);

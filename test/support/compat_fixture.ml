@@ -1,0 +1,112 @@
+(* Canonical catalog × substrate outcomes under pinned seeds.
+
+   [render ()] runs every catalog protocol on all four substrates
+   (abstract engine — failure-free and under a generated crash detector —
+   the lock-step synchronous network, the event-driven asynchronous
+   network, and the live domain-per-process substrate) with fully pinned
+   configurations, and renders everything observable about each
+   execution: decisions, decision rounds, rounds used, the induced fault
+   history, the work counters, the violation report, the crashed set and
+   the per-process completed-round counts.  [wall_ns] is deliberately
+   excluded (it is the one legitimately nondeterministic field).
+
+   The rendering is compared byte-for-byte against
+   test/fixtures/engine_compat.expected, which was generated from the
+   pre-refactor engine (see test/gen).  Any change to the executor, the
+   history representation, the protocols or the RNG streams that alters
+   an outcome shows up as a diff against the committed fixture.
+
+   The live substrate runs real domains, so its cells use the
+   [Wait_all] patience policy: rounds are lock-step, every process hears
+   everyone every round, and every observable outcome is
+   scheduler-independent. *)
+
+module Pset = Rrfd.Pset
+module Catalog = Protocols.Catalog
+
+let n = 5
+
+let f = 1
+
+let base_seed = 1042
+
+let pp_opt_int ppf = function
+  | None -> Format.pp_print_string ppf "-"
+  | Some v -> Format.pp_print_int ppf v
+
+let render_execution buf ~cell (ex : int Rrfd.Substrate.execution) =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let opt_array a =
+    String.concat ","
+      (Array.to_list (Array.map (Format.asprintf "%a" pp_opt_int) a))
+  in
+  pr "cell %s\n" cell;
+  pr "  decisions=[%s]\n" (opt_array ex.Rrfd.Substrate.decisions);
+  pr "  decision_rounds=[%s]\n" (opt_array ex.Rrfd.Substrate.decision_rounds);
+  pr "  rounds_used=%d\n" ex.Rrfd.Substrate.rounds_used;
+  pr "  induced=%s\n"
+    (Rrfd.Fault_history.to_string_compact ex.Rrfd.Substrate.induced);
+  pr "  counters=%s\n"
+    (String.concat ","
+       (List.map
+          (fun (k, v) -> Printf.sprintf "%s:%d" k v)
+          (Rrfd.Counters.to_fields ex.Rrfd.Substrate.counters)));
+  pr "  violation=%s\n"
+    (match ex.Rrfd.Substrate.violation with None -> "-" | Some v -> v);
+  pr "  crashed=%s\n" (Pset.to_string ex.Rrfd.Substrate.crashed);
+  pr "  completed=[%s]\n"
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int ex.Rrfd.Substrate.completed)))
+
+let failure_free_detector =
+  Rrfd.Detector.of_schedule ~after:(Array.make n Pset.empty) []
+
+(* One derived RNG per (protocol, substrate) cell, exactly the
+   Runtime.Campaign idiom: outcomes never depend on cell order. *)
+let cell_rng ~proto_idx ~sub_idx =
+  Dsim.Rng.create (Dsim.Rng.derive_seed base_seed ((proto_idx * 16) + sub_idx))
+
+let render_protocol buf proto_idx proto =
+  let name = Catalog.name proto in
+  let inputs = Catalog.default_inputs ~n in
+  let rounds = Catalog.horizon proto ~n ~f in
+  (* engine, failure-free *)
+  render_execution buf
+    ~cell:(Printf.sprintf "%s/engine/none" name)
+    (Catalog.run_engine proto ~inputs ~max_rounds:rounds ~n ~f
+       ~detector:failure_free_detector ());
+  (* engine, generated crash detector (pins the Detector_gen streams) *)
+  let rng = cell_rng ~proto_idx ~sub_idx:1 in
+  render_execution buf
+    ~cell:(Printf.sprintf "%s/engine/crash" name)
+    (Catalog.run_engine proto ~inputs ~max_rounds:rounds ~n ~f
+       ~detector:(Rrfd.Detector_gen.crash rng ~n ~f)
+       ());
+  (* synchronous network under a random crash pattern *)
+  let rng = cell_rng ~proto_idx ~sub_idx:2 in
+  render_execution buf
+    ~cell:(Printf.sprintf "%s/sync/crash" name)
+    (Catalog.run_sync proto ~inputs ~rounds ~n ~f
+       ~pattern:(Syncnet.Faults.random_crash rng ~n ~f ~max_round:rounds)
+       ());
+  (* asynchronous network with crashes, exactly the E22 idiom *)
+  let rng = cell_rng ~proto_idx ~sub_idx:3 in
+  let net_seed = Dsim.Rng.bits30 rng in
+  let crashes =
+    List.map
+      (fun p -> (p, 1.0 +. float_of_int (Dsim.Rng.int rng 40)))
+      (Dsim.Rng.sample_without_replacement rng f n)
+  in
+  render_execution buf
+    ~cell:(Printf.sprintf "%s/msgnet/crash" name)
+    (Catalog.run_msgnet proto ~inputs ~crashes ~rounds ~seed:net_seed ~n ~f ());
+  (* live substrate, Wait_all: lock-step, scheduler-independent *)
+  render_execution buf
+    ~cell:(Printf.sprintf "%s/live/all" name)
+    (Catalog.run_live proto ~inputs ~patience:Live.Patience.Wait_all ~rounds ~n
+       ~f ())
+
+let render () =
+  let buf = Buffer.create (1 lsl 16) in
+  List.iteri (fun i proto -> render_protocol buf i proto) Catalog.all;
+  Buffer.contents buf

@@ -49,3 +49,5 @@ let history_arb ?(min_n = 2) ?(max_n = 5) ?max_rounds () =
     QCheck.Gen.(int_range min_n max_n >>= fun n -> history_gen ?max_rounds ~n)
     ~print:H.to_string_compact
     ~shrink:(fun h yield -> List.iter yield (Check.Shrink.candidates h))
+
+module Compat_fixture = Compat_fixture

@@ -50,3 +50,12 @@ val history_arb :
     {!Rrfd.Fault_history.to_string_compact}; shrinks through
     {!Check.Shrink.candidates}, so qcheck reports the same minimal
     histories the model checker does. *)
+
+(** {1 Engine-compat fixture} *)
+
+module Compat_fixture : sig
+  val render : unit -> string
+  (** Canonical catalog × substrate outcomes under pinned seeds; compared
+      byte-for-byte against [test/fixtures/engine_compat.expected] by the
+      differential pin test.  See [compat_fixture.ml] for the grid. *)
+end

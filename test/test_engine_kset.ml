@@ -17,12 +17,14 @@ let probe_algorithm : (probe, int, int) Rrfd.Algorithm.t =
     init = (fun ~n:_ p -> { me = p; observed = [] });
     emit = (fun st ~round -> (st.me * 100) + round);
     deliver =
-      (fun st ~round ~received ~faulty ->
+      (fun st ~round ~view ->
         let senders = ref [] in
-        Array.iteri
-          (fun j m -> if Option.is_some m then senders := j :: !senders)
-          received;
-        { st with observed = (round, faulty, List.rev !senders) :: st.observed });
+        Rrfd.View.iter (fun j _ -> senders := j :: !senders) view;
+        {
+          st with
+          observed =
+            (round, Rrfd.View.faulty view, List.rev !senders) :: st.observed;
+        });
     decide = (fun st -> if List.length st.observed >= 2 then Some st.me else None);
   }
 

@@ -69,7 +69,7 @@ let engine_max_rounds_without_decisions () =
       name = "never";
       init = (fun ~n:_ _ -> ());
       emit = (fun () ~round:_ -> ());
-      deliver = (fun () ~round:_ ~received:_ ~faulty:_ -> ());
+      deliver = (fun () ~round:_ ~view:_ -> ());
       decide = (fun () -> None);
     }
   in

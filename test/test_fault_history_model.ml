@@ -1,0 +1,171 @@
+(* Model oracle for Fault_history's arena-backed representation.
+
+   The history now stores rounds in a flat preallocated arena that grows
+   by doubling, with an executor-only in-place tip append and surgery
+   operations that must copy rather than alias.  The oracle is the
+   obvious list-of-rounds model: every operation is applied to both, and
+   the compact rendering must agree after each step.  Universes are
+   drawn from both sides of the Pset representation boundary (n ≤ 62
+   immediate, n > 62 wide), so the arena bookkeeping is exercised on
+   multi-word fault sets too. *)
+
+module H = Rrfd.Fault_history
+module Pset = Rrfd.Pset
+
+(* Operations, with raw integer parameters normalised against the
+   current state at apply time (so shrinking stays well-typed). *)
+type op =
+  | Append of int list list  (* one id list per process, taken mod n *)
+  | Update of int * int * int list
+  | Drop of int
+  | Truncate of int
+  | Remove_proc of int
+
+let pset_of ~n ids = Pset.of_list (List.map (fun i -> abs i mod n) ids)
+
+let round_of ~n idss =
+  Array.init n (fun p ->
+      match List.nth_opt idss (p mod max 1 (List.length idss)) with
+      | Some ids -> pset_of ~n ids
+      | None -> Pset.empty)
+
+(* The model: plain list of rounds, surgery by list manipulation. *)
+let model_remove_proc ~n ~proc rows =
+  let renumber s =
+    Pset.fold
+      (fun j acc ->
+        if j = proc then acc
+        else Pset.add (if j < proc then j else j - 1) acc)
+      s Pset.empty
+  in
+  List.map
+    (fun row ->
+      Array.init (n - 1) (fun i ->
+          renumber row.(if i < proc then i else i + 1)))
+    rows
+
+let apply_model (n, rows) op =
+  match op with
+  | Append idss -> (n, rows @ [ round_of ~n idss ])
+  | Update (r, p, ids) when rows <> [] ->
+    let r = 1 + (abs r mod List.length rows) and p = abs p mod n in
+    ( n,
+      List.mapi
+        (fun i row ->
+          if i = r - 1 then (
+            let row = Array.copy row in
+            row.(p) <- pset_of ~n ids;
+            row)
+          else row)
+        rows )
+  | Drop r when rows <> [] ->
+    let r = 1 + (abs r mod List.length rows) in
+    (n, List.filteri (fun i _ -> i <> r - 1) rows)
+  | Truncate k ->
+    let k = abs k mod (List.length rows + 1) in
+    (n, List.filteri (fun i _ -> i < k) rows)
+  | Remove_proc p when n > 1 ->
+    let p = abs p mod n in
+    (n - 1, model_remove_proc ~n ~proc:p rows)
+  | Update _ | Drop _ | Remove_proc _ -> (n, rows)
+
+let apply_real (n, h) op =
+  match op with
+  | Append idss -> (n, H.append h (round_of ~n idss))
+  | Update (r, p, ids) when H.rounds h > 0 ->
+    let r = 1 + (abs r mod H.rounds h) and p = abs p mod n in
+    (n, H.update h ~round:r ~proc:p (pset_of ~n ids))
+  | Drop r when H.rounds h > 0 ->
+    (n, H.drop_round h ~round:(1 + (abs r mod H.rounds h)))
+  | Truncate k -> (n, H.truncate h ~rounds:(abs k mod (H.rounds h + 1)))
+  | Remove_proc p when n > 1 -> (n - 1, H.remove_proc h ~proc:(abs p mod n))
+  | Update _ | Drop _ | Remove_proc _ -> (n, h)
+
+let render ~n rows = H.to_string_compact (H.of_rounds ~n rows)
+
+let qcheck_props =
+  let open QCheck in
+  let gen_ids = Gen.(list_size (int_bound 4) (int_bound 200)) in
+  let gen_op =
+    Gen.(
+      frequency
+        [
+          (5, map (fun l -> Append l) (list_size (int_bound 5) gen_ids));
+          (2, map3 (fun r p l -> Update (r, p, l)) nat nat gen_ids);
+          (1, map (fun r -> Drop r) nat);
+          (1, map (fun k -> Truncate k) nat);
+          (1, map (fun p -> Remove_proc p) nat);
+        ])
+  in
+  (* both Pset representations: immediate (n ≤ 62) and wide (n > 62) *)
+  let gen_n = Gen.(frequency [ (3, int_range 1 8); (1, int_range 63 80) ]) in
+  let arb_scenario =
+    make
+      ~print:(fun (n, ops) ->
+        Printf.sprintf "n=%d, %d ops" n (List.length ops))
+      Gen.(pair gen_n (list_size (int_bound 20) gen_op))
+  in
+  [
+    Test.make ~name:"model: op sequences agree" ~count:300 arb_scenario
+      (fun (n, ops) ->
+        let _, h, mn, rows =
+          List.fold_left
+            (fun (rn, h, mn, rows) op ->
+              let rn, h = apply_real (rn, h) op in
+              let mn, rows = apply_model (mn, rows) op in
+              if rn <> mn then
+                Test.fail_reportf "process counts diverged: %d vs %d" rn mn;
+              if H.to_string_compact h <> render ~n:mn rows then
+                Test.fail_reportf "history diverged after an op:@.%a" H.pp h;
+              (rn, h, mn, rows))
+            (n, H.empty ~n, n, []) ops
+        in
+        H.to_string_compact h = render ~n:mn rows);
+    Test.make ~name:"model: in-place appends cross the arena capacity"
+      ~count:300
+      (make
+         ~print:Print.(pair int (pair int int))
+         Gen.(pair gen_n (pair (int_bound 4) (int_range 0 12))))
+      (fun (n, (capacity, rounds)) ->
+        let rng = Dsim.Rng.create (n + (capacity * 131) + rounds) in
+        let h = ref (H.create ~n ~capacity) in
+        let rows = ref [] in
+        for _ = 1 to rounds do
+          let row =
+            Array.init n (fun _ ->
+                Pset.random_subset rng (Pset.full n))
+          in
+          let h' = H.append_in_place !h row in
+          (* the tip append extends the handle itself *)
+          if not (h' == !h) then
+            Test.fail_report "append_in_place returned a fresh handle";
+          rows := !rows @ [ row ]
+        done;
+        H.to_string_compact !h = render ~n !rows);
+  ]
+
+(* Functional appends from a shared prefix must not clobber each other
+   even though they share an arena: the second append sees a backing
+   whose tip moved past it and must copy. *)
+let branching_append () =
+  let n = 5 in
+  let row k = Array.init n (fun i -> if i = k then Pset.of_list [ k ] else Pset.empty) in
+  let prefix = H.append (H.create ~n ~capacity:4) (row 0) in
+  let a = H.append prefix (row 1) in
+  let b = H.append prefix (row 2) in
+  Alcotest.(check string)
+    "first branch intact"
+    (render ~n [ row 0; row 1 ])
+    (H.to_string_compact a);
+  Alcotest.(check string)
+    "second branch intact"
+    (render ~n [ row 0; row 2 ])
+    (H.to_string_compact b);
+  Alcotest.(check string)
+    "prefix untouched"
+    (render ~n [ row 0 ])
+    (H.to_string_compact prefix)
+
+let tests =
+  [ Alcotest.test_case "branching appends don't alias" `Quick branching_append ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_props

@@ -169,14 +169,13 @@ let failure_modes () =
       init = (fun ~n:_ i -> i);
       emit = (fun i ~round:_ -> i);
       deliver =
-        (fun i ~round:_ ~received:_ ~faulty:_ ->
-          if i = 1 then failwith "kaboom" else i);
+        (fun i ~round:_ ~view:_ -> if i = 1 then failwith "kaboom" else i);
       decide = (fun _ -> None);
     }
   in
   Alcotest.check_raises "worker failure propagates" (Failure "kaboom")
     (fun () -> ignore (Live.run ~n:3 ~f:1 ~rounds:2 ~algorithm:bomb ()));
-  let ok = { bomb with Rrfd.Algorithm.deliver = (fun i ~round:_ ~received:_ ~faulty:_ -> i) } in
+  let ok = { bomb with Rrfd.Algorithm.deliver = (fun i ~round:_ ~view:_ -> i) } in
   List.iter
     (fun (n, f, rounds) ->
       match Live.run ~n ~f ~rounds ~algorithm:ok () with

@@ -26,8 +26,16 @@ let json_roundtrip () =
     mk_report
       ~subjects:
         [
-          { R.name = "rrfd/kset-one-round n=4"; ns_per_run = 1234.5 };
-          { R.name = "rrfd/floodset n=8 ⌊f/k⌋"; ns_per_run = 0.125 };
+          {
+            R.name = "rrfd/kset-one-round n=4";
+            ns_per_run = 1234.5;
+            alloc_per_run = Some 96.0;
+          };
+          {
+            R.name = "rrfd/floodset n=8 ⌊f/k⌋";
+            ns_per_run = 0.125;
+            alloc_per_run = None;
+          };
         ]
       ~tables:
         [
@@ -57,13 +65,23 @@ let json_roundtrip () =
   Alcotest.(check bool) "empty report round-trip" true
     (r2 = R.of_string (R.to_string r2));
   (* reports written before the oversubscription guard lack
-     recommended_jobs; they decode with the 0 = unrecorded sentinel *)
+     recommended_jobs; they decode with the 0 = unrecorded sentinel.
+     v1 baselines also predate alloc_per_run: subjects decode with None
+     so old baselines stay comparable across the schema bump. *)
   let old =
     {|{"version": 1, "meta": {"seed": 1, "jobs": 2, "git_sha": "x",
-       "hostname": "h"}, "subjects": [], "tables": [], "speedup": null}|}
+       "hostname": "h"},
+       "subjects": [{"name": "s", "ns_per_run": 7.0}],
+       "tables": [], "speedup": null}|}
   in
+  let decoded = R.of_string old in
   Alcotest.(check int) "tolerant recommended_jobs decode" 0
-    (R.of_string old).R.meta.R.recommended_jobs;
+    decoded.R.meta.R.recommended_jobs;
+  (match decoded.R.subjects with
+  | [ s ] ->
+    Alcotest.(check bool) "v1 subject has no alloc estimate" true
+      (s.R.alloc_per_run = None)
+  | _ -> Alcotest.fail "v1 subject list decoded wrong");
   (* a wrong version is refused *)
   match R.of_string {|{"version": 99, "meta": {}}|} with
   | exception J.Error _ -> ()
@@ -98,7 +116,7 @@ let json_parser () =
     [ "{"; "[1,]"; "tru"; "\"unterminated"; "{} extra"; {|{"a" 1}|}; "" ]
 
 let subject_verdicts () =
-  let base ns = mk_report ~subjects:[ { R.name = "s"; ns_per_run = ns } ] () in
+  let base ns = mk_report ~subjects:[ { R.name = "s"; ns_per_run = ns; alloc_per_run = None } ] () in
   let run old_ns new_ns =
     R.check ~tolerance_pct:50.0 ~baseline:(base old_ns) ~current:(base new_ns)
   in
@@ -111,7 +129,7 @@ let subject_verdicts () =
     over.R.regressions;
   Alcotest.(check bool) "improvement never gates" true
     (R.check_ok (run 100.0 1.0));
-  let only name ns = mk_report ~subjects:[ { R.name; ns_per_run = ns } ] () in
+  let only name ns = mk_report ~subjects:[ { R.name; ns_per_run = ns; alloc_per_run = None } ] () in
   Alcotest.(check bool) "missing+new subjects don't gate" true
     (R.check_ok
        (R.check ~tolerance_pct:50.0 ~baseline:(only "a" 1.0)
@@ -139,7 +157,7 @@ let table_verdicts () =
     (R.check_ok (chk (tab true) (mk_report ())))
 
 let save_load_file () =
-  let r = mk_report ~subjects:[ { R.name = "s"; ns_per_run = 42.0 } ] () in
+  let r = mk_report ~subjects:[ { R.name = "s"; ns_per_run = 42.0; alloc_per_run = None } ] () in
   let path = Filename.temp_file "rrfd_report" ".json" in
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
